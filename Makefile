@@ -1,0 +1,25 @@
+PYTHON ?= python3
+
+.PHONY: test bench experiments examples quickcheck clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro experiments -o EXPERIMENTS.md
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+quickcheck:
+	$(PYTHON) -m repro hazards
+	$(PYTHON) -m repro em3d --quick
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; \
+	rm -rf .pytest_cache .hypothesis .benchmarks; true

@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark produces a paper-vs-measured report; reports are
+collected and printed in the terminal summary so they survive pytest's
+output capture (``pytest benchmarks/ --benchmark-only`` shows them).
+"""
+
+import pytest
+
+_REPORTS: list = []
+
+
+@pytest.fixture
+def report():
+    """Collect a report block for the end-of-run summary."""
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+    return add
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated rounds
+    would measure the same work — so a single round keeps the suite
+    fast while still recording wall-clock cost per experiment.
+    """
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for text in _REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

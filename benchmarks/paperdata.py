@@ -1,0 +1,66 @@
+"""The paper's published numbers, one place, with section citations.
+
+Benchmarks compare measured (simulated) values against these and emit
+paper-vs-measured tables; EXPERIMENTS.md is written from the same
+constants.
+"""
+
+KB = 1024
+
+# Section 2: local node.
+LOCAL_READ_HIT_NS = 6.67          # L1 hit (section 2.2)
+LOCAL_MEMORY_NS = 145.0           # full memory access (section 2.2)
+LOCAL_MEMORY_CYCLES = 22.0
+OFF_PAGE_EXTRA_NS = 60.0          # +9 cycles (section 2.2)
+SAME_BANK_TOTAL_NS = 264.0        # 40 cycles (section 2.2)
+T3D_STREAM_MB_S = 220.0           # section 2.2
+WS_STREAM_MB_S = 110.0            # "about half" (section 2.2)
+WS_MEMORY_NS = 300.0              # 45 cycles (section 2.2)
+WRITE_MERGED_NS = 20.0            # section 2.3
+WRITE_STEADY_NS = 35.0            # section 2.3
+WRITE_BUFFER_DEPTH = 4            # section 2.3
+
+# Section 3: annex.
+ANNEX_UPDATE_CYCLES = 23.0        # section 3.2
+ANNEX_TABLE_LOOKUP_CYCLES = 10.0  # section 3.4 ("memory read + branch")
+
+# Section 4: remote access.
+UNCACHED_READ_NS = 610.0          # 91 cycles (section 4.2)
+CACHED_READ_NS = 765.0            # 114 cycles (section 4.2)
+REMOTE_OFF_PAGE_NS = 100.0        # 15 cycles (section 4.2)
+HOP_CYCLES = (2.0, 3.0)           # 13-20 ns per hop (section 4.2)
+BLOCKING_WRITE_NS = 850.0         # 130 cycles (section 4.3)
+SPLITC_READ_NS = 850.0            # 128 cycles (section 4.4)
+SPLITC_READ_CYCLES = 128.0
+SPLITC_WRITE_NS = 981.0           # 147 cycles (section 4.4)
+SPLITC_WRITE_CYCLES = 147.0
+FLUSH_LINE_CYCLES = 23.0          # section 4.4
+
+# Section 5: split-phase.
+PREFETCH_ISSUE_CYCLES = 4.0       # section 5.2
+PREFETCH_MB_CYCLES = 4.0
+PREFETCH_ROUND_TRIP_CYCLES = 80.0
+PREFETCH_POP_CYCLES = 23.0
+PREFETCH_GROUP16_CYCLES = 31.0    # section 5.2
+GET_TABLE_CYCLES = 10.0           # section 5.4
+NONBLOCKING_STORE_NS = 115.0      # 17 cycles (Figure 7)
+SPLITC_PUT_NS = 300.0             # 45 cycles (section 5.4)
+
+# Section 6: bulk.
+BLT_STARTUP_US = 180.0            # section 6.3
+BLT_PEAK_MB_S = 140.0             # section 6.2
+WRITE_PEAK_MB_S = 90.0            # section 6.2
+BULK_READ_BLT_CROSSOVER = 16 * KB # section 6.3
+BULK_GET_BLT_CROSSOVER = 7_900    # section 6.3
+
+# Section 7: synchronization.
+MESSAGE_SEND_NS = 813.0           # 122 cycles (section 7.3)
+MESSAGE_INTERRUPT_US = 25.0       # section 7.3
+MESSAGE_HANDLER_EXTRA_US = 33.0   # section 7.3
+FETCH_INC_US = 1.0                # section 7.4
+AM_DEPOSIT_US = 2.9               # section 7.4
+AM_DISPATCH_US = 1.5              # section 7.4
+
+# Section 8: EM3D.
+EM3D_LOCAL_US_PER_EDGE = 0.37     # section 8
+EM3D_LOCAL_MFLOPS = 5.5           # section 8

@@ -1,0 +1,49 @@
+"""Extension: EM3D weak scaling over machine size.
+
+The paper's metric — time per edge with a fixed per-processor graph —
+is chosen precisely because it should stay flat "when scaling both
+problem and machine size" (section 8).  Sweeping the simulated machine
+from 2 to 8 processors with the same per-PE graph parameters checks
+that the implementation has no hidden serial term: per-edge cost grows
+only by the (logarithmic-ish) barrier settle and the slightly longer
+torus hops.
+"""
+
+import pytest
+
+from repro.apps.em3d import make_graph, run_em3d
+from repro.machine.machine import Machine
+from repro.microbench.report import format_comparison
+from repro.params import t3d_machine_params
+
+SHAPES = {2: (2, 1, 1), 4: (2, 2, 1), 8: (2, 2, 2)}
+NODES_PER_PE = 120
+DEGREE = 8
+FRACTION = 0.3
+
+
+def run_scaling():
+    costs = {}
+    for num_pes, shape in SHAPES.items():
+        graph = make_graph(num_pes, NODES_PER_PE, DEGREE, FRACTION,
+                           seed=1995)
+        machine = Machine(t3d_machine_params(shape))
+        result = run_em3d(machine, graph, "put", steps=1, warmup_steps=1)
+        costs[num_pes] = result.us_per_edge
+    return costs
+
+
+def test_em3d_weak_scaling(once, report):
+    costs = once(run_scaling)
+
+    # Per-edge cost is roughly flat: growing the machine 4x costs
+    # under 40% per edge (hop lengths + barrier + plan skew).
+    assert costs[8] < 1.4 * costs[2]
+    # And it never *shrinks* dramatically either (no fake speedup).
+    assert costs[8] > 0.7 * costs[2]
+
+    report(format_comparison(
+        [(f"{p} PEs (us/edge)", costs[2], c, "us")
+         for p, c in sorted(costs.items())],
+        title="Extension: EM3D weak scaling (paper column = 2-PE "
+        "baseline; flat is good)"))

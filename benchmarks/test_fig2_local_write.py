@@ -1,0 +1,50 @@
+"""Figure 2: local write cost.
+
+Regenerates the write-latency profile and checks the write-buffer
+story: ~20 ns merged writes at sub-line strides, ~35 ns steady state
+at line strides (=> inferred depth 4), and the off-page inflection at
+16 KB strides.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.analyze import analyze_write_curves
+from repro.microbench.harness import default_sizes
+from repro.microbench.report import format_comparison, format_curves
+from repro.node.memsys import t3d_memory_system
+
+KB = 1024
+
+
+def run_fig2():
+    return probes.local_write_probe(
+        t3d_memory_system(), sizes=default_sizes(hi=512 * KB))
+
+
+def test_fig2_local_write(once, report):
+    curves = once(run_fig2)
+    profile = analyze_write_curves(curves, memory_cycles=22.0)
+
+    assert profile.write_merging
+    assert profile.merged_cycles * 20 / 3 == pytest.approx(
+        paper.WRITE_MERGED_NS, rel=0.1)
+    assert profile.steady_cycles * 20 / 3 == pytest.approx(
+        paper.WRITE_STEADY_NS, rel=0.1)
+    assert profile.buffer_depth == paper.WRITE_BUFFER_DEPTH
+    # Off-page inflection: 16 KB strides drain off-page on every line,
+    # clearly above the on-page steady state at 1 KB strides.
+    big = 512 * KB
+    assert (curves.at(big, 16 * KB).avg_cycles
+            > 1.3 * curves.at(big, 1 * KB).avg_cycles)
+
+    report(format_curves(curves, title="Figure 2: local write cost"))
+    report(format_comparison([
+        ("merged write (ns)", paper.WRITE_MERGED_NS,
+         profile.merged_cycles * 20 / 3, "ns"),
+        ("steady write (ns)", paper.WRITE_STEADY_NS,
+         profile.steady_cycles * 20 / 3, "ns"),
+        ("inferred buffer depth", float(paper.WRITE_BUFFER_DEPTH),
+         float(profile.buffer_depth), "entries"),
+    ], title="Figure 2 headline numbers"))

@@ -1,0 +1,41 @@
+"""Figure 5: acknowledged remote write latency.
+
+Regenerates the blocking-write profile (~850 ns raw, ~981 ns Split-C)
+including the remote off-page sensitivity.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison, format_curves
+
+KB = 1024
+SIZES = [16 * KB, 64 * KB, 256 * KB]
+
+
+def run_fig5():
+    return (probes.remote_write_probe(mechanism="blocking", sizes=SIZES),
+            probes.remote_write_probe(mechanism="splitc", sizes=SIZES))
+
+
+def test_fig5_remote_write(once, report):
+    raw, splitc = once(run_fig5)
+
+    assert raw.at(64 * KB, 32).avg_ns == pytest.approx(
+        paper.BLOCKING_WRITE_NS, rel=0.03)
+    assert splitc.at(64 * KB, 32).avg_ns == pytest.approx(
+        paper.SPLITC_WRITE_NS, rel=0.03)
+    # Off-page at 16 KB strides raises the acknowledged write too.
+    assert (raw.at(256 * KB, 16 * KB).avg_cycles
+            > raw.at(64 * KB, 32).avg_cycles + 10.0)
+
+    report(format_curves(raw, title="Figure 5a: acknowledged remote "
+                         "write latency"))
+    report(format_curves(splitc, title="Figure 5b: Split-C write latency"))
+    report(format_comparison([
+        ("blocking write (ns)", paper.BLOCKING_WRITE_NS,
+         raw.at(64 * KB, 32).avg_ns, "ns"),
+        ("Split-C write (ns)", paper.SPLITC_WRITE_NS,
+         splitc.at(64 * KB, 32).avg_ns, "ns"),
+    ], title="Figure 5 headline numbers"))

@@ -1,0 +1,49 @@
+"""Figure 6: prefetch latency vs group size, raw and Split-C get.
+
+Regenerates the amortization curve: one prefetch+pop is ~15-20 cycles
+slower than a blocking read, but groups pipeline the network and the
+per-element cost approaches ~31 cycles at the 16-entry queue depth —
+the paper's evidence that 16 is a reasonable FIFO size.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison, format_group_costs
+
+
+def run_fig6():
+    groups = list(range(1, 17))
+    return (probes.prefetch_group_probe(groups=groups),
+            probes.splitc_get_group_probe(groups=groups))
+
+
+def test_fig6_prefetch(once, report):
+    raw, get = once(run_fig6)
+    by_group = {g.group: g.cycles_per_element for g in raw}
+
+    # Single prefetch ~15-25 cycles over a blocking read (91 cycles).
+    assert 10.0 <= by_group[1] - 91.0 <= 30.0
+    # Monotone amortization toward ~31 cycles at depth 16.
+    assert by_group[1] > by_group[2] > by_group[4] > by_group[8]
+    assert by_group[16] == pytest.approx(paper.PREFETCH_GROUP16_CYCLES,
+                                         abs=3.0)
+    # Latency mostly hidden at the full queue depth: subtracting the
+    # pop and issue leaves only a few cycles of exposed latency.
+    exposed = by_group[16] - paper.PREFETCH_POP_CYCLES - paper.PREFETCH_ISSUE_CYCLES
+    assert exposed < 10.0
+    # Split-C get adds table + local-store overhead at every group.
+    get_by_group = {g.group: g.cycles_per_element for g in get}
+    assert all(get_by_group[k] > by_group[k] for k in by_group)
+
+    report(format_group_costs(raw, get,
+                              title="Figure 6: prefetch group costs"))
+    report(format_comparison([
+        ("prefetch issue (cycles)", paper.PREFETCH_ISSUE_CYCLES, 4.0, "cy"),
+        ("round trip (cycles)", paper.PREFETCH_ROUND_TRIP_CYCLES, 80.0, "cy"),
+        ("pop (cycles)", paper.PREFETCH_POP_CYCLES, 23.0, "cy"),
+        ("per element, group=16 (cycles)", paper.PREFETCH_GROUP16_CYCLES,
+         by_group[16], "cy"),
+        ("per element, group=1 (cycles)", 111.0, by_group[1], "cy"),
+    ], title="Figure 6 / section 5.2 cost breakdown"))

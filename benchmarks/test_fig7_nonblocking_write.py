@@ -1,0 +1,47 @@
+"""Figure 7: non-blocking remote write latency profile.
+
+Regenerates the store profile: write-merging below 32-byte strides
+(like Figure 2), ~115 ns / 17 cycles per non-merged store, the 16 KB
+off-page inflection at the remote memory controller, and the Split-C
+put at ~300 ns / 45 cycles.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison, format_curves
+
+KB = 1024
+SIZES = [16 * KB, 64 * KB, 256 * KB]
+
+
+def run_fig7():
+    return (probes.nonblocking_write_probe(mechanism="store", sizes=SIZES),
+            probes.nonblocking_write_probe(mechanism="splitc", sizes=SIZES))
+
+
+def test_fig7_nonblocking_write(once, report):
+    store, put = once(run_fig7)
+
+    assert store.at(64 * KB, 32).avg_ns == pytest.approx(
+        paper.NONBLOCKING_STORE_NS, rel=0.03)
+    # Merging below line strides, as in Figure 2.
+    assert store.at(64 * KB, 8).avg_cycles < 0.4 * store.at(
+        64 * KB, 32).avg_cycles
+    # Remote off-page inflection at 16 KB strides.
+    assert (store.at(256 * KB, 16 * KB).avg_cycles
+            > 1.15 * store.at(64 * KB, 32).avg_cycles)
+    # Split-C put ~45 cycles / 300 ns.
+    assert put.at(64 * KB, 32).avg_ns == pytest.approx(
+        paper.SPLITC_PUT_NS, rel=0.03)
+
+    report(format_curves(store, title="Figure 7a: non-blocking remote "
+                         "store latency"))
+    report(format_curves(put, title="Figure 7b: Split-C put latency"))
+    report(format_comparison([
+        ("non-blocking store (ns)", paper.NONBLOCKING_STORE_NS,
+         store.at(64 * KB, 32).avg_ns, "ns"),
+        ("Split-C put (ns)", paper.SPLITC_PUT_NS,
+         put.at(64 * KB, 32).avg_ns, "ns"),
+    ], title="Figure 7 headline numbers"))

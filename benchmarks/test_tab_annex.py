@@ -1,0 +1,51 @@
+"""T2 (section 3): Annex update cost, the synonym hazard, and the
+single-vs-multi register policy arithmetic.
+
+The paper's conclusions: an Annex update costs 23 cycles; a runtime
+table saves only (23 - 10) cycles per hit while admitting write-buffer
+synonyms; one register suffices.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.machine.machine import Machine
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+from repro.params import AnnexParams, t3d_machine_params
+from repro.shell.annex import DtbAnnex
+from repro.splitc.annex_policy import MultiAnnexPolicy, SingleAnnexPolicy
+
+
+def run_t2():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    update = machine.node(0).annex.set_entry(1, 1)
+    hazard = probes.synonym_hazard_probe()
+
+    annex = DtbAnnex(AnnexParams(), my_pe=0)
+    multi = MultiAnnexPolicy(num_registers=4)
+    _, miss_cost = multi.setup(annex, 5)
+    _, hit_cost = multi.setup(annex, 5)
+    single = SingleAnnexPolicy()
+    _, reload_cost = single.setup(annex, 5)
+    return update, hazard, hit_cost, reload_cost
+
+
+def test_tab_annex(once, report):
+    update, hazard, hit_cost, reload_cost = once(run_t2)
+
+    assert update == pytest.approx(paper.ANNEX_UPDATE_CYCLES)
+    assert hazard.hazard_observed
+    assert hit_cost == pytest.approx(paper.ANNEX_TABLE_LOOKUP_CYCLES)
+    saving = reload_cost - hit_cost
+    assert saving == pytest.approx(13.0)
+    # The paper's verdict: the saving is small relative to the risk.
+    assert saving < paper.ANNEX_UPDATE_CYCLES
+
+    report(format_comparison([
+        ("annex update (cycles)", paper.ANNEX_UPDATE_CYCLES, update, "cy"),
+        ("table lookup (cycles)", paper.ANNEX_TABLE_LOOKUP_CYCLES,
+         hit_cost, "cy"),
+        ("table saving per hit (cycles)", 13.0, saving, "cy"),
+    ], title="T2: Annex management (section 3)"))
+    report("T2 synonym hazard probe: " + hazard.detail)

@@ -1,0 +1,66 @@
+"""T7 (section 6.3): the bulk-transfer crossover arithmetic.
+
+BLT start-up 180 us; the prefetch pipe moves ~7,900 bytes in that
+time, fixing the bulk-get crossover; blocking bulk reads switch to the
+BLT near 16 KB; peaks 140 MB/s (BLT read) and ~90 MB/s (stores).
+The "compiler" derives these thresholds from measurements.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.machine.machine import Machine
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+from repro.params import cycles_to_us, mb_per_s, t3d_machine_params
+from repro.splitc.codegen import Measurements, derive_plan
+
+KB = 1024
+
+
+def run_t7():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    startup, _ = machine.node(0).blt.start_read(0.0, 1, 0, 0x100000, 8)
+
+    h = probes.measure_headlines()
+    plan = derive_plan(Measurements(
+        uncached_read_cycles=h["uncached_read"],
+        cached_read_cycles=h["cached_read"],
+        annex_update_cycles=h["annex_update"],
+        prefetch_per_word_cycles=h["prefetch_per_element_16"],
+    ))
+
+    blt_bw = mb_per_s(1024 * KB, machine.node(0).blt.read_blocking(
+        1e6, 1, 0, 0x200000, 1024 * KB))
+    write_points = probes.bulk_write_bandwidth_probe(
+        sizes=[512 * KB], mechanisms={"stores": probes.WRITE_MECHANISMS["stores"]})
+    stores_bw = write_points[0].mb_per_s
+    return startup, plan, blt_bw, stores_bw
+
+
+def test_tab_bulk_crossover(once, report):
+    startup, plan, blt_bw, stores_bw = once(run_t7)
+
+    assert cycles_to_us(startup) == pytest.approx(paper.BLT_STARTUP_US,
+                                                  rel=0.01)
+    assert plan.bulk_read_blt_threshold == paper.BULK_READ_BLT_CROSSOVER
+    assert plan.bulk_get_blt_threshold == pytest.approx(
+        paper.BULK_GET_BLT_CROSSOVER, rel=0.15)
+    assert blt_bw == pytest.approx(paper.BLT_PEAK_MB_S, rel=0.05)
+    assert stores_bw == pytest.approx(paper.WRITE_PEAK_MB_S, rel=0.12)
+    assert plan.bulk_write_blt_threshold is None   # stores always win
+
+    report(format_comparison([
+        ("BLT start-up (us)", paper.BLT_STARTUP_US,
+         cycles_to_us(startup), "us"),
+        ("bulk read BLT crossover (bytes)",
+         float(paper.BULK_READ_BLT_CROSSOVER),
+         float(plan.bulk_read_blt_threshold), "B"),
+        ("bulk get BLT crossover (bytes)",
+         float(paper.BULK_GET_BLT_CROSSOVER),
+         float(plan.bulk_get_blt_threshold), "B"),
+        ("BLT peak read bandwidth", paper.BLT_PEAK_MB_S, blt_bw, "MB/s"),
+        ("stores peak write bandwidth", paper.WRITE_PEAK_MB_S,
+         stores_bw, "MB/s"),
+    ], title="T7: bulk crossovers (section 6.3)"))
+    report("T7 compiler notes:\n  " + "\n  ".join(plan.notes))

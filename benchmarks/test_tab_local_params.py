@@ -1,0 +1,54 @@
+"""T1 (section 2 summary): local memory parameters, recovered by the
+gray-box analyzer from curves alone.
+
+The paper's summary: off-chip access ~22-23 cycles, huge pages
+eliminate TLB costs, the write buffer holds four entries and merges.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.analyze import analyze_read_curves, analyze_write_curves
+from repro.microbench.harness import default_sizes
+from repro.microbench.report import format_comparison
+from repro.node.memsys import t3d_memory_system
+
+KB = 1024
+
+
+def run_t1():
+    reads = probes.local_read_probe(t3d_memory_system(),
+                                    sizes=default_sizes(hi=512 * KB))
+    writes = probes.local_write_probe(t3d_memory_system(),
+                                      sizes=default_sizes(hi=512 * KB))
+    read_profile = analyze_read_curves(reads)
+    write_profile = analyze_write_curves(writes,
+                                         read_profile.memory_cycles)
+    return read_profile, write_profile
+
+
+def test_tab_local_params(once, report):
+    rp, wp = once(run_t1)
+
+    assert rp.hit_cycles == pytest.approx(1.0)
+    assert rp.l1_size == 8 * KB
+    assert rp.line_bytes == 32
+    assert rp.direct_mapped
+    assert rp.memory_cycles == pytest.approx(paper.LOCAL_MEMORY_CYCLES,
+                                             abs=1.0)
+    assert not rp.has_l2
+    assert not rp.tlb_visible            # huge pages (section 2.2)
+    assert wp.write_merging
+    assert wp.buffer_depth == paper.WRITE_BUFFER_DEPTH
+
+    report(format_comparison([
+        ("L1 hit (cycles)", 1.0, rp.hit_cycles, "cy"),
+        ("L1 size (KB)", 8.0, rp.l1_size / KB, "KB"),
+        ("line size (bytes)", 32.0, float(rp.line_bytes), "B"),
+        ("memory access (cycles)", paper.LOCAL_MEMORY_CYCLES,
+         rp.memory_cycles, "cy"),
+        ("worst case (cycles)", 40.0, rp.worst_case_cycles, "cy"),
+        ("write-buffer depth", float(paper.WRITE_BUFFER_DEPTH),
+         float(wp.buffer_depth), "entries"),
+    ], title="T1: local memory parameters (gray-box inferred)"))

@@ -1,0 +1,43 @@
+"""T5 (section 7.3): hardware message queue costs.
+
+Send ~813 ns; receive interrupt ~25 us; handler dispatch another
+~33 us — the numbers that drive the paper to software Active Messages.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.machine.machine import Machine
+from repro.microbench.report import format_comparison
+from repro.params import cycles_to_ns, cycles_to_us, t3d_machine_params
+
+
+def run_t5():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    send = machine.node(0).msgq.send(0.0, 1, (1, 2, 3, 4))
+    interrupt, _ = machine.node(1).msgq.receive(100_000.0)
+    machine.node(0).msgq.send(0.0, 1, (1,))
+    handler, _ = machine.node(1).msgq.receive(200_000.0, via_handler=True)
+    return send, interrupt, handler
+
+
+def test_tab_msgqueue(once, report):
+    send, interrupt, handler = once(run_t5)
+
+    assert cycles_to_ns(send) == pytest.approx(paper.MESSAGE_SEND_NS,
+                                               rel=0.01)
+    assert cycles_to_us(interrupt) == pytest.approx(
+        paper.MESSAGE_INTERRUPT_US, rel=0.01)
+    assert cycles_to_us(handler - interrupt) == pytest.approx(
+        paper.MESSAGE_HANDLER_EXTRA_US, rel=0.01)
+    # The imbalance that kills the mechanism: receive is ~30x send.
+    assert interrupt / send > 25.0
+
+    report(format_comparison([
+        ("message send (ns)", paper.MESSAGE_SEND_NS,
+         cycles_to_ns(send), "ns"),
+        ("receive interrupt (us)", paper.MESSAGE_INTERRUPT_US,
+         cycles_to_us(interrupt), "us"),
+        ("handler switch extra (us)", paper.MESSAGE_HANDLER_EXTRA_US,
+         cycles_to_us(handler - interrupt), "us"),
+    ], title="T5: hardware message queue (section 7.3)"))

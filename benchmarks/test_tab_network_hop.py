@@ -1,0 +1,34 @@
+"""T9 (section 4.2): per-hop network latency.
+
+"Measuring the additional latency through the network reveals roughly
+a 13 to 20 ns (2-3 cycle) cost per hop."
+"""
+
+import paperdata as paper
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+
+
+def run_t9():
+    return probes.network_hop_probe(shape=(8, 1, 1))
+
+
+def test_tab_network_hop(once, report):
+    points = once(run_t9)
+    lat = dict(points)
+    max_hops = max(lat)
+    per_hop_one_way = (lat[max_hops] - lat[1]) / (max_hops - 1) / 2
+
+    lo, hi = paper.HOP_CYCLES
+    assert lo <= per_hop_one_way <= hi
+    # Latency is monotone in hop count.
+    ordered = [lat[h] for h in sorted(lat)]
+    assert ordered == sorted(ordered)
+
+    rows = [(f"read latency at {h} hops (cycles)",
+             91.0 + (h - 1) * 5.0, lat[h], "cy") for h in sorted(lat)]
+    rows.append(("per-hop one-way cost (cycles)", 2.5,
+                 per_hop_one_way, "cy"))
+    report(format_comparison(rows, title="T9: network hop cost "
+                             "(section 4.2; paper: 2-3 cycles/hop)"))

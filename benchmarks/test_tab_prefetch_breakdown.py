@@ -1,0 +1,48 @@
+"""T4 (section 5.2): the prefetch cost breakdown.
+
+issue 4 / memory barrier 4 / round trip 80 / pop 23 cycles; ~75% of a
+remote fetch overlaps with useful work; 31 cycles per element at group
+size 16 with only ~4 cycles of exposed latency.
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+
+
+def run_t4():
+    h = probes.measure_headlines()
+    group16 = h["prefetch_per_element_16"]
+    single = probes.prefetch_group_probe(groups=[1])[0].cycles_per_element
+    return h, group16, single
+
+
+def test_tab_prefetch_breakdown(once, report):
+    h, group16, single = once(run_t4)
+
+    assert h["prefetch_issue"] == pytest.approx(paper.PREFETCH_ISSUE_CYCLES)
+    assert h["memory_barrier"] == pytest.approx(paper.PREFETCH_MB_CYCLES)
+    assert h["prefetch_round_trip"] == pytest.approx(
+        paper.PREFETCH_ROUND_TRIP_CYCLES)
+    assert h["prefetch_pop"] == pytest.approx(paper.PREFETCH_POP_CYCLES)
+    assert group16 == pytest.approx(paper.PREFETCH_GROUP16_CYCLES, abs=3.0)
+
+    # ~75% of the remote fetch cost overlaps at full depth.
+    overlapped = 1.0 - (group16 - paper.PREFETCH_POP_CYCLES
+                        - paper.PREFETCH_ISSUE_CYCLES) / single
+    assert overlapped > 0.9
+
+    report(format_comparison([
+        ("prefetch issue", paper.PREFETCH_ISSUE_CYCLES,
+         h["prefetch_issue"], "cy"),
+        ("memory barrier", paper.PREFETCH_MB_CYCLES,
+         h["memory_barrier"], "cy"),
+        ("round trip", paper.PREFETCH_ROUND_TRIP_CYCLES,
+         h["prefetch_round_trip"], "cy"),
+        ("pop", paper.PREFETCH_POP_CYCLES, h["prefetch_pop"], "cy"),
+        ("per element at group 16", paper.PREFETCH_GROUP16_CYCLES,
+         group16, "cy"),
+        ("single prefetch+pop+store", 111.0, single, "cy"),
+    ], title="T4: prefetch cost breakdown (section 5.2)"))

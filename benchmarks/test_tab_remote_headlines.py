@@ -1,0 +1,43 @@
+"""T3 (section 4): the remote-access headline latencies.
+
+uncached 610 ns / cached 765 ns / Split-C read 850 ns /
+blocking write 850 ns / Split-C write 981 ns — plus the section 4.2
+observation that remote access is only 3-4x a local memory access and
+under 1 microsecond (vs ~3 us on DASH, ~7.5 us on the KSR).
+"""
+
+import paperdata as paper
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+from repro.params import cycles_to_ns
+
+
+def run_t3():
+    return probes.measure_headlines()
+
+
+def test_tab_remote_headlines(once, report):
+    h = once(run_t3)
+
+    rows = [
+        ("uncached read", paper.UNCACHED_READ_NS, h["uncached_read"]),
+        ("cached read", paper.CACHED_READ_NS, h["cached_read"]),
+        ("Split-C read", paper.SPLITC_READ_NS, h["splitc_read"]),
+        ("blocking write", paper.BLOCKING_WRITE_NS, h["blocking_write"]),
+        ("Split-C write", paper.SPLITC_WRITE_NS, h["splitc_write"]),
+        ("Split-C put", paper.SPLITC_PUT_NS, h["splitc_put"]),
+    ]
+    for name, expected_ns, measured_cycles in rows:
+        assert cycles_to_ns(measured_cycles) == pytest.approx(
+            expected_ns, rel=0.04), name
+
+    # Remote access is 3-4x a local access and sub-microsecond (4.2).
+    assert 3.0 <= h["uncached_read"] / 22.0 <= 4.5
+    assert cycles_to_ns(h["uncached_read"]) < 1000.0
+
+    report(format_comparison(
+        [(name, expected, cycles_to_ns(measured), "ns")
+         for name, expected, measured in rows],
+        title="T3: remote access headlines (section 4)"))

@@ -1,0 +1,38 @@
+"""T10 (section 2.2): streaming memory bandwidth, T3D vs workstation.
+
+"The T3D can deliver roughly 220 MB/s from memory into the processor
+and the workstation only about half that amount" — the vendor's
+justification for omitting the L2.
+"""
+
+import paperdata as paper
+
+from repro.microbench import probes
+from repro.microbench.report import format_comparison
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+
+KB = 1024
+
+
+def run_t10():
+    t3d = probes.streaming_bandwidth_probe(t3d_memory_system(),
+                                           nbytes=512 * KB)
+    ws = probes.streaming_bandwidth_probe(workstation_memory_system(),
+                                          nbytes=2048 * KB)
+    return t3d, ws
+
+
+def test_tab_stream_bandwidth(once, report):
+    t3d, ws = once(run_t10)
+
+    # Shape: the T3D streams roughly twice the workstation rate.
+    assert t3d > 1.7 * ws
+    assert t3d > 0.8 * paper.T3D_STREAM_MB_S
+    assert ws < 0.65 * t3d
+
+    report(format_comparison([
+        ("T3D streaming read (MB/s)", paper.T3D_STREAM_MB_S, t3d, "MB/s"),
+        ("workstation streaming read (MB/s)", paper.WS_STREAM_MB_S,
+         ws, "MB/s"),
+        ("ratio", 2.0, t3d / ws, "x"),
+    ], title="T10: streaming bandwidth (section 2.2)"))

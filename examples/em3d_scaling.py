@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""EM3D (paper section 8, Figure 9): the six optimization levels swept
+over the fraction of remote edges.
+
+Prints microseconds per edge — the paper's metric — for each version
+at each remote fraction, plus the all-local floor and MFlops rate.
+
+Run:  python examples/em3d_scaling.py           (paper-scale graphs, ~2 min)
+      python examples/em3d_scaling.py --quick   (small graphs, seconds)
+"""
+
+import sys
+
+from repro.apps.em3d import VERSIONS, make_graph, run_em3d
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def main(quick: bool = False):
+    if quick:
+        nodes_per_pe, degree, fractions = 60, 5, (0.0, 0.2, 0.5)
+    else:
+        nodes_per_pe, degree, fractions = 500, 20, (0.0, 0.1, 0.2, 0.4, 0.7)
+    shape = (2, 2, 1)
+    num_pes = shape[0] * shape[1] * shape[2]
+    print(f"EM3D: {nodes_per_pe} nodes/PE, degree {degree}, "
+          f"{num_pes} PEs (paper: 500 nodes/PE, degree 20, 32 PEs)\n")
+
+    header = f"{'% remote':>9}" + "".join(f"{v:>9}" for v in VERSIONS)
+    print(header)
+    print("-" * len(header))
+    all_local_best = None
+    for frac in fractions:
+        graph = make_graph(num_pes=num_pes, nodes_per_pe=nodes_per_pe,
+                           degree=degree, remote_fraction=frac, seed=1995)
+        row = f"{100 * graph.remote_edge_fraction():>8.0f}%"
+        for version in VERSIONS:
+            machine = Machine(t3d_machine_params(shape))
+            result = run_em3d(machine, graph, version,
+                              steps=1, warmup_steps=1)
+            row += f"{result.us_per_edge:>9.3f}"
+            if frac == 0.0:
+                best = result.us_per_edge
+                all_local_best = (best if all_local_best is None
+                                  else min(all_local_best, best))
+        print(row)
+    print("(microseconds per edge; paper Figure 9 runs 0.37-3 us/edge)")
+
+    if all_local_best:
+        mflops = 2.0 / all_local_best
+        print(f"\nall-local floor: {all_local_best:.3f} us/edge "
+              f"= {mflops:.1f} MFlops/PE "
+              f"(paper: 0.37 us/edge = 5.5 MFlops/PE)")
+
+    # Where do the communication cycles go?  Break down the 'get'
+    # version at the highest remote fraction.
+    graph = make_graph(num_pes=num_pes, nodes_per_pe=nodes_per_pe,
+                       degree=degree, remote_fraction=fractions[-1],
+                       seed=1995)
+    machine = Machine(t3d_machine_params(shape))
+    result = run_em3d(machine, graph, "get", steps=1, warmup_steps=1)
+    print()
+    print(result.stats.format(
+        title=f"'get' version at {100 * fractions[-1]:.0f}% remote: "
+              "operation breakdown (all PEs)"))
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Concurrent increments: why the T3D needs software Active Messages.
+
+The T3D has no remote read-modify-write on memory words, so a naive
+histogram (read the bin, add one, write it back) loses updates when
+two processors touch a bin concurrently — the same failure mode as the
+byte store of section 4.5.  The paper's fix (section 7.4) is to build
+poll-based Active Messages from fetch&increment + stores and ship the
+increment to the bin's owner.
+
+Run:  python examples/histogram_am.py
+"""
+
+from repro.apps.histogram import run_histogram
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def main():
+    shape = (2, 2, 1)
+    bins, samples = 16, 64
+    num_pes = shape[0] * shape[1] * shape[2]
+    print(f"histogram: {num_pes} PEs x {samples} samples into "
+          f"{bins} bins\n")
+
+    racy = run_histogram(Machine(t3d_machine_params(shape)),
+                         num_bins=bins, samples_per_pe=samples,
+                         method="racy")
+    print(f"  racy read-modify-write: counted "
+          f"{racy.total_counted}/{racy.total_samples} "
+          f"-> LOST {racy.lost_updates} updates")
+
+    am = run_histogram(Machine(t3d_machine_params(shape)),
+                       num_bins=bins, samples_per_pe=samples,
+                       method="am")
+    print(f"  active-message increments: counted "
+          f"{am.total_counted}/{am.total_samples} "
+          f"-> lost {am.lost_updates}")
+
+    print(f"\nfinal bins (AM): {am.bins}")
+    print(f"AM run took {am.us_total:.1f} us; deposits cost ~2.9 us and "
+          "dispatches ~1.5 us each (section 7.4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""The paper in one script: run the gray-box micro-benchmark suite,
+print every latency profile and bandwidth table, infer the machine's
+structure from the curves, and let the "compiler" derive its
+code-generation plan from the measurements.
+
+Run:  python examples/microbench_tour.py          (~1 minute)
+      python examples/microbench_tour.py --quick  (reduced sweeps)
+"""
+
+import sys
+
+from repro.microbench import probes
+from repro.microbench.analyze import analyze_read_curves, analyze_write_curves
+from repro.microbench.harness import default_sizes
+from repro.microbench.report import (
+    format_bandwidths,
+    format_curves,
+    format_group_costs,
+)
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+from repro.params import CYCLE_NS
+from repro.splitc.codegen import Measurements, derive_plan
+
+KB = 1024
+
+
+def main(quick: bool = False):
+    hi = 256 * KB if quick else 1024 * KB
+    ws_hi = 2048 * KB
+
+    print("=" * 72)
+    print("Section 2: local node performance (Figures 1 and 2)")
+    print("=" * 72)
+    t3d_reads = probes.local_read_probe(t3d_memory_system(),
+                                        sizes=default_sizes(hi=hi))
+    print(format_curves(t3d_reads, title="\nT3D local read latency (ns):"))
+    profile = analyze_read_curves(t3d_reads)
+    print(f"\ngray-box inference: L1 {profile.l1_size // KB} KB "
+          f"{'direct-mapped' if profile.direct_mapped else 'associative'}, "
+          f"{profile.line_bytes}-byte lines, memory "
+          f"{profile.memory_cycles:.0f} cy, "
+          f"L2 {'present' if profile.has_l2 else 'absent'}, "
+          f"DRAM page rise at {profile.dram_page_rise_stride} B strides, "
+          f"worst case {profile.worst_case_cycles:.0f} cy, "
+          f"TLB {'visible' if profile.tlb_visible else 'invisible (huge pages)'}")
+
+    if not quick:
+        ws_reads = probes.local_read_probe(
+            workstation_memory_system(),
+            sizes=default_sizes(hi=ws_hi), min_footprint=ws_hi)
+        ws = analyze_read_curves(ws_reads)
+        print(f"\nDEC workstation for contrast: L2 "
+              f"{ws.l2_size // KB if ws.l2_size else 0} KB at "
+              f"{ws.l2_cycles:.0f} cy, memory {ws.memory_cycles:.0f} cy, "
+              f"TLB pages {ws.tlb_page_bytes} B")
+
+    t3d_writes = probes.local_write_probe(t3d_memory_system(),
+                                          sizes=default_sizes(hi=hi))
+    wb = analyze_write_curves(t3d_writes, profile.memory_cycles)
+    print(f"\nwrite analysis: merging={wb.write_merging}, merged write "
+          f"{wb.merged_cycles * CYCLE_NS:.0f} ns, steady "
+          f"{wb.steady_cycles * CYCLE_NS:.0f} ns "
+          f"=> inferred buffer depth {wb.buffer_depth}")
+
+    print()
+    print("=" * 72)
+    print("Sections 4-5: remote access (Figures 4-7)")
+    print("=" * 72)
+    sizes = [64 * KB]
+    for name, fn, kwargs in [
+        ("uncached read", probes.remote_read_probe, {"mechanism": "uncached"}),
+        ("cached read", probes.remote_read_probe, {"mechanism": "cached"}),
+        ("Split-C read", probes.remote_read_probe, {"mechanism": "splitc"}),
+        ("blocking write", probes.remote_write_probe, {"mechanism": "blocking"}),
+        ("Split-C write", probes.remote_write_probe, {"mechanism": "splitc"}),
+        ("non-blocking store", probes.nonblocking_write_probe,
+         {"mechanism": "store"}),
+        ("Split-C put", probes.nonblocking_write_probe,
+         {"mechanism": "splitc"}),
+    ]:
+        curves = fn(sizes=sizes, **kwargs)
+        level = curves.at(64 * KB, 32)
+        print(f"  {name:<20} {level.avg_cycles:7.1f} cy "
+              f"{level.avg_ns:8.1f} ns")
+
+    print("\nFigure 6: prefetch group amortization")
+    raw = probes.prefetch_group_probe(groups=[1, 2, 4, 8, 16])
+    get = probes.splitc_get_group_probe(groups=[1, 2, 4, 8, 16])
+    print(format_group_costs(raw, get))
+
+    print()
+    print("=" * 72)
+    print("Section 6: bulk transfer (Figure 8)")
+    print("=" * 72)
+    read_sizes = ([8, 128, 2 * KB, 32 * KB] if quick else
+                  [8, 32, 128, 512, 2 * KB, 8 * KB, 32 * KB, 128 * KB])
+    print(format_bandwidths(probes.bulk_read_bandwidth_probe(read_sizes),
+                            title="\nbulk read bandwidth:"))
+    print(format_bandwidths(
+        probes.bulk_write_bandwidth_probe(read_sizes[1:]),
+        title="\nbulk write bandwidth:"))
+
+    print()
+    print("=" * 72)
+    print("Section 3/4 hazards (probes that exhibit them)")
+    print("=" * 72)
+    for name, probe in [
+        ("write-buffer synonyms (3.4)", probes.synonym_hazard_probe),
+        ("status bit vs write buffer (4.3)", probes.status_bit_hazard_probe),
+        ("stale cached reads (4.4)", probes.stale_cached_read_probe),
+    ]:
+        report = probe()
+        flag = "observed" if report.hazard_observed else "NOT OBSERVED"
+        print(f"  {name:<34} {flag}: {report.detail}")
+
+    print()
+    print("=" * 72)
+    print("The compiler's decisions, derived from these measurements")
+    print("=" * 72)
+    h = probes.measure_headlines()
+    plan = derive_plan(Measurements(
+        uncached_read_cycles=h["uncached_read"],
+        cached_read_cycles=h["cached_read"],
+        annex_update_cycles=h["annex_update"],
+        prefetch_per_word_cycles=h["prefetch_per_element_16"],
+    ))
+    for note in plan.notes:
+        print("  *", note)
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Distributed sample sort: most of the library in one program.
+
+Sample sort (a staple of the original Split-C suite) composes local
+sorts, all_gather splitter selection, signaling-store count exchange,
+all_store_sync, and a pull-based bulk all-to-all.  The element-wise
+exchange variant shows what the bulk machinery buys.
+
+Run:  python examples/samplesort_run.py
+"""
+
+from repro.apps.samplesort import run_sample_sort
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def main():
+    shape = (2, 2, 2)
+    keys = 96
+    num_pes = shape[0] * shape[1] * shape[2]
+    print(f"sample sort: {num_pes} PEs x {keys} keys\n")
+
+    for method in ("element", "bulk"):
+        machine = Machine(t3d_machine_params(shape))
+        result = run_sample_sort(machine, keys_per_pe=keys,
+                                 oversample=8, method=method)
+        ok = result.sorted_keys == sorted(result.sorted_keys)
+        print(f"  {method:<8} {result.total_cycles:12.0f} cycles "
+              f"({result.us_total:9.1f} us)  globally sorted: {ok}")
+        print(f"  {'':<8} keys per PE after exchange: "
+              f"{result.per_pe_counts}")
+    print("\nthe bulk exchange pulls each incoming bucket with one")
+    print("transfer; the element exchange pays ~128 cycles per key.")
+
+
+if __name__ == "__main__":
+    main()

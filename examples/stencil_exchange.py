@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Bulk-synchronous vs message-driven ghost exchange (section 7).
+
+A 1-D stencil exchanges boundary cells each step using signaling
+stores.  Two completion styles are compared:
+
+* ``all_store_sync`` — the bulk-synchronous style on the hardware
+  fuzzy barrier;
+* ``store_sync(n)`` — the message-driven style: proceed the moment the
+  neighbor's boundary words have arrived.
+
+Both produce identical fields; the message-driven style shaves the
+barrier latency off every step.
+
+Run:  python examples/stencil_exchange.py
+"""
+
+from repro.apps.stencil import reference_stencil, run_stencil
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def main():
+    shape = (2, 2, 2)
+    cells, steps = 64, 8
+    num_pes = shape[0] * shape[1] * shape[2]
+    print(f"1-D stencil: {num_pes} PEs x {cells} cells, {steps} steps\n")
+
+    results = {}
+    for style in ("bulk_synchronous", "message_driven"):
+        machine = Machine(t3d_machine_params(shape))
+        results[style] = run_stencil(machine, cells_per_pe=cells,
+                                     steps=steps, sync_style=style)
+        r = results[style]
+        print(f"  {style:<18} {r.total_cycles:10.0f} cycles total, "
+              f"{r.us_per_step:7.2f} us/step")
+
+    ref = reference_stencil(num_pes, cells, steps)
+    for style, r in results.items():
+        ok = all(
+            abs(r.values[pe][i] - ref[pe][i]) < 1e-9
+            for pe in range(num_pes) for i in range(cells)
+        )
+        print(f"  {style:<18} matches sequential reference: {ok}")
+
+    bulk = results["bulk_synchronous"].total_cycles
+    msg = results["message_driven"].total_cycles
+    print(f"\nmessage-driven style saves "
+          f"{100 * (bulk - msg) / bulk:.1f}% of the run "
+          "(local completion detection vs a global barrier per step)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Distributed matrix transpose: the bulk crossover in an application.
+
+Every processor exchanges a tile with every other — the all-to-all
+pattern where section 6's bulk machinery matters.  Three exchange
+strategies are compared at two matrix sizes, showing element-wise
+blocking reads losing to the Split-C bulk dispatch, and the BLT's
+180 microsecond start-up drowning small tiles.
+
+Run:  python examples/transpose_alltoall.py
+"""
+
+from repro.apps.transpose import STRATEGIES, run_transpose
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def main():
+    shape = (2, 2, 1)
+    for n in (16, 64):
+        print(f"transpose {n}x{n} over 4 PEs "
+              f"(tile rows of {n // 4} words):")
+        for strategy in STRATEGIES:
+            machine = Machine(t3d_machine_params(shape))
+            result = run_transpose(machine, n, strategy)
+            print(f"  {strategy:<7} {result.total_cycles:12.0f} cycles "
+                  f"({result.us_total:9.1f} us)")
+        print()
+    print("reads pay ~128 cycles per element; bulk rides the prefetch")
+    print("pipe (and the BLT once tiles exceed the 16 KB crossover);")
+    print("blt-everywhere pays 180 us of OS start-up per tile row.")
+
+
+if __name__ == "__main__":
+    main()

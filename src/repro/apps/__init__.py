@@ -1,0 +1,10 @@
+"""Application kernels built on the Split-C runtime: the paper's EM3D
+case study (section 8) plus further scenarios exercising the same
+primitives — bulk-synchronous and message-driven stencil exchange, a
+fetch&increment histogram, an all-to-all transpose, distributed sample
+sort, conjugate gradient, and a binary-exchange FFT."""
+
+from repro.apps import cg, em3d, fft, histogram, samplesort, stencil, transpose
+
+__all__ = ["cg", "em3d", "fft", "histogram", "samplesort", "stencil",
+           "transpose"]

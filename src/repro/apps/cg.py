@@ -1,0 +1,172 @@
+"""Distributed conjugate gradient: collectives + ghost exchange in a
+numerical solver.
+
+Solves ``A x = b`` for the 1-D Laplacian (the classic tridiagonal SPD
+matrix: 2 on the diagonal, -1 off), distributed by block rows.  Each
+CG iteration composes exactly the primitives the paper characterizes:
+
+* **SpMV** — each processor needs only its neighbors' boundary
+  entries: one signaling store per neighbor + ``all_store_sync``
+  (the bulk-synchronous exchange of section 7);
+* **dot products** — local partial sums combined with
+  :func:`~repro.splitc.collectives.all_reduce`;
+* **axpy / local updates** — per-element multiply-adds charged through
+  the Alpha cost model.
+
+The solver is verified against a sequential CG and against the known
+solution; for the Laplacian, CG converges in at most N iterations
+(exactly, in exact arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import CYCLE_NS, WORD_BYTES
+from repro.splitc.collectives import all_reduce
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+__all__ = ["CgResult", "reference_cg", "run_cg"]
+
+
+@dataclass
+class CgResult:
+    """Outcome of one distributed CG solve."""
+
+    iterations: int
+    residual: float
+    total_cycles: float
+    us_total: float
+    x: list                   # the assembled solution vector
+
+
+def _laplacian_matvec(v):
+    """Sequential 1-D Laplacian A v (Dirichlet ends)."""
+    n = len(v)
+    out = []
+    for i in range(n):
+        acc = 2.0 * v[i]
+        if i > 0:
+            acc -= v[i - 1]
+        if i < n - 1:
+            acc -= v[i + 1]
+        out.append(acc)
+    return out
+
+
+def reference_cg(b, tol=1e-10, max_iters=None):
+    """Sequential CG on the same Laplacian; returns (x, iterations)."""
+    n = len(b)
+    max_iters = max_iters if max_iters is not None else 2 * n
+    x = [0.0] * n
+    r = list(b)
+    p = list(r)
+    rr = sum(v * v for v in r)
+    for iteration in range(max_iters):
+        if rr <= tol * tol:
+            return x, iteration
+        ap = _laplacian_matvec(p)
+        alpha = rr / sum(pi * api for pi, api in zip(p, ap))
+        x = [xi + alpha * pi for xi, pi in zip(x, p)]
+        r = [ri - alpha * api for ri, api in zip(r, ap)]
+        rr_new = sum(v * v for v in r)
+        beta = rr_new / rr
+        p = [ri + beta * pi for ri, pi in zip(r, p)]
+        rr = rr_new
+    return x, max_iters
+
+
+def run_cg(machine, rows_per_pe: int = 16, tol: float = 1e-10,
+           max_iters: int | None = None, seed: int = 7) -> CgResult:
+    """Distributed CG on the (P x rows_per_pe)-unknown Laplacian.
+
+    The right-hand side is ``A x_true`` for a deterministic
+    ``x_true``, so the solve has a known answer.
+    """
+    if rows_per_pe < 2:
+        raise ValueError("need at least two rows per processor")
+    num_pes = machine.num_nodes
+    n = num_pes * rows_per_pe
+    max_iters = max_iters if max_iters is not None else 2 * n
+
+    from random import Random
+    rng = Random(seed)
+    x_true = [rng.uniform(-1.0, 1.0) for _ in range(n)]
+    b = _laplacian_matvec(x_true)
+
+    # Symmetric layout: ghost cells for p's boundary entries.
+    ghosts_base = machine.symmetric_alloc(2 * WORD_BYTES)
+
+    def program(sc):
+        ctx = sc.ctx
+        me = sc.my_pe
+        lo = me * rows_per_pe
+        left = me - 1 if me > 0 else None
+        right = me + 1 if me < num_pes - 1 else None
+        flop = ctx.node.alpha.flop_pair()
+
+        def local_dot(u, v):
+            acc = 0.0
+            for ui, vi in zip(u, v):
+                acc += ui * vi
+                ctx.charge(flop)
+            return acc
+
+        def exchange_and_matvec(p_vec):
+            """Ghost-exchange p's boundaries, then apply A locally."""
+            if left is not None:
+                sc.store(GlobalPtr(left, ghosts_base + WORD_BYTES),
+                         p_vec[0])
+            if right is not None:
+                sc.store(GlobalPtr(right, ghosts_base),
+                         p_vec[-1])
+            result = yield from sc.all_store_sync()
+            left_ghost = (ctx.local_read(ghosts_base)
+                          if left is not None else 0.0)
+            right_ghost = (ctx.local_read(ghosts_base + WORD_BYTES)
+                           if right is not None else 0.0)
+            padded = [left_ghost] + p_vec + [right_ghost]
+            out = []
+            for i in range(rows_per_pe):
+                out.append(2.0 * padded[i + 1] - padded[i] - padded[i + 2])
+                ctx.charge(2 * flop)
+            return out
+
+        x = [0.0] * rows_per_pe
+        r = b[lo:lo + rows_per_pe]
+        p_vec = list(r)
+        yield from sc.barrier()
+        start = ctx.clock
+        rr = yield from all_reduce(sc, local_dot(r, r))
+        iterations = 0
+        while rr > tol * tol and iterations < max_iters:
+            ap = yield from exchange_and_matvec(p_vec)
+            pap = yield from all_reduce(sc, local_dot(p_vec, ap))
+            alpha = rr / pap
+            for i in range(rows_per_pe):
+                x[i] += alpha * p_vec[i]
+                r[i] -= alpha * ap[i]
+                ctx.charge(2 * flop)
+            rr_new = yield from all_reduce(sc, local_dot(r, r))
+            beta = rr_new / rr
+            for i in range(rows_per_pe):
+                p_vec[i] = r[i] + beta * p_vec[i]
+                ctx.charge(flop)
+            rr = rr_new
+            iterations += 1
+        elapsed = ctx.clock - start
+        return elapsed, iterations, rr, x
+
+    results, _ = run_splitc(machine, program)
+    x = [xi for _t, _i, _rr, xs in results for xi in xs]
+    elapsed = max(t for t, _i, _rr, _x in results)
+    iterations = results[0][1]
+    residual = results[0][2] ** 0.5
+    return CgResult(
+        iterations=iterations,
+        residual=residual,
+        total_cycles=elapsed,
+        us_total=elapsed * CYCLE_NS / 1000.0,
+        x=x,
+    )

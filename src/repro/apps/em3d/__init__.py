@@ -1,0 +1,24 @@
+"""EM3D: propagation of electromagnetic waves through a bipartite
+graph (paper section 8).
+
+The computation leapfrogs: E-node values are recomputed as weighted
+sums of neighboring H-node values, then vice versa.  Six Split-C
+versions reproduce Figure 9's optimization ladder:
+
+========  ==========================================================
+simple    blocking remote read per edge (duplicates re-fetched)
+bundle    ghost nodes: one blocking read per distinct remote value
+unroll    bundle + unrolled/software-pipelined compute phase
+get       ghost fill pipelined with split-phase gets
+put       owners push values into consumers' ghosts with puts
+bulk      sender-side gather + bulk transfer per processor pair
+========  ==========================================================
+"""
+
+from repro.apps.em3d.driver import SweepPoint, sweep
+from repro.apps.em3d.graph import CommPlan, Em3dGraph, make_graph
+from repro.apps.em3d.kernels import VERSIONS, run_em3d
+from repro.apps.em3d.reference import reference_step
+
+__all__ = ["CommPlan", "Em3dGraph", "SweepPoint", "VERSIONS",
+           "make_graph", "reference_step", "run_em3d", "sweep"]

@@ -1,0 +1,59 @@
+"""EM3D sweep driver: the Figure 9 experiment as a reusable function.
+
+Used by the Figure 9 benchmark, the CSV series exporter, the CLI, and
+the scaling example — one implementation of "run every version at
+every remote fraction on a fresh machine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.em3d.graph import make_graph
+from repro.apps.em3d.kernels import VERSIONS, run_em3d
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (version, remote fraction) measurement."""
+
+    version: str
+    requested_fraction: float
+    realized_fraction: float
+    us_per_edge: float
+    cycles_per_edge: float
+
+
+def sweep(fractions=(0.0, 0.2, 0.5), versions=VERSIONS,
+          nodes_per_pe: int = 200, degree: int = 10,
+          shape=(2, 2, 1), steps: int = 1, warmup_steps: int = 1,
+          seed: int = 1995) -> list[SweepPoint]:
+    """Run the Figure 9 sweep; returns one point per (version,
+    fraction), fractions-major, in the given order.
+
+    Every point runs on a fresh machine (cold caches, clean symmetric
+    heaps); the graph is shared across versions within a fraction so
+    the comparison is apples-to-apples.
+    """
+    num_pes = shape[0] * shape[1] * shape[2]
+    points = []
+    for fraction in fractions:
+        graph = make_graph(num_pes, nodes_per_pe, degree, fraction,
+                           seed=seed)
+        realized = graph.remote_edge_fraction()
+        for version in versions:
+            machine = Machine(t3d_machine_params(shape))
+            result = run_em3d(machine, graph, version, steps=steps,
+                              warmup_steps=warmup_steps, seed=seed)
+            points.append(SweepPoint(
+                version=version,
+                requested_fraction=fraction,
+                realized_fraction=realized,
+                us_per_edge=result.us_per_edge,
+                cycles_per_edge=result.cycles_per_edge,
+            ))
+    return points

@@ -1,0 +1,162 @@
+"""Synthetic EM3D graphs (paper section 8).
+
+The paper evaluates synthetic bipartite graphs with a fixed number of
+nodes per processor, fixed degree, and a tunable fraction of edges
+whose endpoints live on different processors.  The generator here is
+deterministic (seeded) and replicated: every SPMD thread builds the
+same global graph and extracts its own slice, which is how the real
+program's preprocessing step distributed the structure.
+
+Besides adjacency, the generator emits the **communication plan** the
+optimized versions share: for every (consumer, source) processor pair,
+the sorted list of distinct source-node indices the consumer needs.
+Consumers allocate their ghost slots contiguously per source — which
+is exactly what makes the Bulk version's per-pair buffers contiguous.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["CommPlan", "Em3dGraph", "make_graph"]
+
+
+@dataclass
+class CommPlan:
+    """Who needs which values, for one leapfrog direction.
+
+    ``needed[c][s]`` lists the distinct node indices on source
+    processor ``s`` whose values consumer ``c`` reads; ghost slots on
+    ``c`` are numbered contiguously in that order, source by source.
+    """
+
+    needed: list[dict[int, list[int]]]
+    #: ghost_slot[c][(s, idx)] -> slot number on consumer c.
+    ghost_slot: list[dict[tuple[int, int], int]]
+
+    def ghost_count(self, consumer: int) -> int:
+        return len(self.ghost_slot[consumer])
+
+    def slot_base(self, consumer: int, source: int) -> int:
+        """First ghost slot on ``consumer`` assigned to ``source``."""
+        base = 0
+        for s in sorted(self.needed[consumer]):
+            if s == source:
+                return base
+            base += len(self.needed[consumer][s])
+        raise KeyError(f"consumer {consumer} needs nothing from {source}")
+
+
+@dataclass
+class Em3dGraph:
+    """A distributed bipartite EM3D graph.
+
+    ``e_adj[p][i]`` lists ``(owner_pe, h_index, weight)`` for the i-th
+    E node on processor p; ``h_adj`` mirrors it for H nodes.
+    """
+
+    num_pes: int
+    nodes_per_pe: int
+    degree: int
+    remote_fraction: float
+    e_adj: list[list[list[tuple[int, int, float]]]]
+    h_adj: list[list[list[tuple[int, int, float]]]]
+    e_plan: CommPlan = field(default=None)
+    h_plan: CommPlan = field(default=None)
+
+    @property
+    def edges_per_pe(self) -> int:
+        """Directed edges processed per processor per whole time step."""
+        return 2 * self.nodes_per_pe * self.degree
+
+    def remote_edge_fraction(self) -> float:
+        """The realized fraction of edges that cross processors."""
+        remote = 0
+        total = 0
+        for adj in (self.e_adj, self.h_adj):
+            for pe, nodes in enumerate(adj):
+                for edges in nodes:
+                    for owner, _idx, _w in edges:
+                        total += 1
+                        remote += owner != pe
+        return remote / total if total else 0.0
+
+
+def _build_plan(adj, num_pes: int) -> CommPlan:
+    """Communication plan for one direction (who reads what)."""
+    needed_sets: list[dict[int, set[int]]] = [dict() for _ in range(num_pes)]
+    for consumer in range(num_pes):
+        for edges in adj[consumer]:
+            for owner, idx, _w in edges:
+                if owner != consumer:
+                    needed_sets[consumer].setdefault(owner, set()).add(idx)
+    needed = [
+        {s: sorted(idxs) for s, idxs in by_src.items()}
+        for by_src in needed_sets
+    ]
+    ghost_slot: list[dict[tuple[int, int], int]] = []
+    for consumer in range(num_pes):
+        slots: dict[tuple[int, int], int] = {}
+        slot = 0
+        for s in sorted(needed[consumer]):
+            for idx in needed[consumer][s]:
+                slots[(s, idx)] = slot
+                slot += 1
+        ghost_slot.append(slots)
+    return CommPlan(needed=needed, ghost_slot=ghost_slot)
+
+
+def make_graph(num_pes: int, nodes_per_pe: int, degree: int,
+               remote_fraction: float, seed: int = 1995) -> Em3dGraph:
+    """Generate the synthetic kernel graph of section 8.
+
+    Every edge endpoint is remote with probability ``remote_fraction``;
+    remote endpoints are spread uniformly over the other processors.
+    Weights are deterministic in the seed.
+    """
+    if num_pes < 1 or nodes_per_pe < 1 or degree < 1:
+        raise ValueError("num_pes, nodes_per_pe, degree must be positive")
+    if not 0.0 <= remote_fraction <= 1.0:
+        raise ValueError("remote_fraction must be within [0, 1]")
+    if remote_fraction > 0 and num_pes < 2:
+        raise ValueError("remote edges need at least two processors")
+    rng = random.Random(seed)
+
+    def one_direction():
+        adj = []
+        for pe in range(num_pes):
+            nodes = []
+            for _ in range(nodes_per_pe):
+                edges = []
+                for _ in range(degree):
+                    if num_pes > 1 and rng.random() < remote_fraction:
+                        owner = rng.randrange(num_pes - 1)
+                        if owner >= pe:
+                            owner += 1
+                    else:
+                        owner = pe
+                    idx = rng.randrange(nodes_per_pe)
+                    weight = rng.uniform(0.1, 1.0)
+                    edges.append((owner, idx, weight))
+                nodes.append(edges)
+            adj.append(nodes)
+        return adj
+
+    e_adj = one_direction()
+    h_adj = one_direction()
+    graph = Em3dGraph(
+        num_pes=num_pes, nodes_per_pe=nodes_per_pe, degree=degree,
+        remote_fraction=remote_fraction, e_adj=e_adj, h_adj=h_adj)
+    graph.e_plan = _build_plan(e_adj, num_pes)
+    graph.h_plan = _build_plan(h_adj, num_pes)
+    return graph
+
+
+def initial_values(graph: Em3dGraph, kind: str, seed: int = 7):
+    """Deterministic initial field values: ``values[pe][idx]``."""
+    rng = random.Random(seed + (0 if kind == "e" else 1))
+    return [
+        [rng.uniform(-1.0, 1.0) for _ in range(graph.nodes_per_pe)]
+        for _ in range(graph.num_pes)
+    ]

@@ -1,0 +1,338 @@
+"""The six EM3D versions of Figure 9.
+
+Every version runs the same leapfrog and is verified against the
+sequential reference; they differ only in how remote neighbor values
+reach the compute loop:
+
+* **simple** — a blocking Split-C read per edge, duplicates re-read;
+* **bundle** — ghost nodes filled with one blocking read per distinct
+  remote value, then a pure-local compute phase;
+* **unroll** — bundle with the compute loop unrolled and software-
+  pipelined (lower per-edge loop/address overhead);
+* **get** — ghost fill pipelined through split-phase gets;
+* **put** — the *owners* push values into consumers' ghosts with puts,
+  cheaper per element than gets (no target-table or pop);
+* **bulk** — owners gather per-consumer buffers, consumers fetch them
+  with one bulk transfer per source, avoiding per-element Annex
+  set-ups entirely;
+* **msg** — the message-driven style section 7 motivates: owners push
+  with one-way stores and each consumer proceeds the moment *its* ghost
+  bytes have arrived (region-scoped ``store_sync``), with only one
+  barrier per whole step instead of per phase.
+
+The compute phase walks a real adjacency array resident in simulated
+memory — two words (value address, weight) per edge — so its cost
+includes the cache misses of streaming a >8 KB structure, which is
+what makes the paper's all-local 0.37 microseconds/edge come out of
+the model rather than being pasted in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.em3d.graph import Em3dGraph, initial_values
+from repro.params import CYCLE_NS, LINE_BYTES, WORD_BYTES
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+__all__ = ["Em3dResult", "Layout", "VERSIONS", "run_em3d"]
+
+VERSIONS = ("simple", "bundle", "unroll", "get", "put", "bulk", "msg")
+
+#: Field values live embedded in 32-byte node structures (as in the
+#: real EM3D's linked graph), so neighbor-value loads are scattered —
+#: one value per cache line.  The bulk version's ghosts are the dense
+#: landing buffer of its gathered transfer, a locality bonus on top of
+#: the Annex savings.
+VALUE_BYTES = LINE_BYTES
+
+#: Versions whose compute loop is unrolled/software-pipelined.
+_OPTIMIZED_COMPUTE = {"unroll", "get", "put", "bulk", "msg"}
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Symmetric memory offsets shared by all processors."""
+
+    e_vals: int
+    h_vals: int
+    e_ghosts: int          # ghosts of H values (for the E update)
+    h_ghosts: int          # ghosts of E values (for the H update)
+    e_adj: int
+    h_adj: int
+    gather: int            # per-consumer gather buffers (bulk version)
+    gather_pair_words: int
+
+
+@dataclass
+class Em3dResult:
+    """Outcome of one EM3D run."""
+
+    version: str
+    us_per_edge: float
+    cycles_per_edge: float
+    per_pe_cycles_per_edge: list
+    e_values: list         # final E values, [pe][idx]
+    h_values: list
+    #: Machine-wide operation breakdown (merged over processors).
+    stats: object = None
+
+
+def _plan_max_ghosts(graph: Em3dGraph) -> int:
+    return max(
+        max((graph.e_plan.ghost_count(pe) for pe in range(graph.num_pes)),
+            default=0),
+        max((graph.h_plan.ghost_count(pe) for pe in range(graph.num_pes)),
+            default=0),
+        1,
+    )
+
+
+def _setup(machine, graph: Em3dGraph, version: str,
+           seed: int = 7) -> Layout:
+    """Place values, ghosts, adjacency, and gather buffers in memory.
+
+    Setup is untimed (the paper's preprocessing step); it uses the
+    backing stores directly.
+    """
+    n = graph.nodes_per_pe
+    entry_words = 2
+    adj_words = n * graph.degree * entry_words
+    max_ghosts = _plan_max_ghosts(graph)
+    gather_pair_words = max(
+        (len(idxs)
+         for plan in (graph.e_plan, graph.h_plan)
+         for by_src in plan.needed
+         for idxs in by_src.values()),
+        default=1,
+    ) or 1
+
+    layout = Layout(
+        e_vals=machine.symmetric_alloc(n * VALUE_BYTES),
+        h_vals=machine.symmetric_alloc(n * VALUE_BYTES),
+        e_ghosts=machine.symmetric_alloc(max_ghosts * VALUE_BYTES),
+        h_ghosts=machine.symmetric_alloc(max_ghosts * VALUE_BYTES),
+        e_adj=machine.symmetric_alloc(adj_words * WORD_BYTES),
+        h_adj=machine.symmetric_alloc(adj_words * WORD_BYTES),
+        gather=machine.symmetric_alloc(
+            graph.num_pes * gather_pair_words * WORD_BYTES),
+        gather_pair_words=gather_pair_words,
+    )
+
+    ghost_stride = WORD_BYTES if version == "bulk" else VALUE_BYTES
+    e0 = initial_values(graph, "e", seed)
+    h0 = initial_values(graph, "h", seed)
+    for pe in range(graph.num_pes):
+        mem = machine.node(pe).memsys.memory
+        for i in range(n):
+            mem.store(layout.e_vals + i * VALUE_BYTES, e0[pe][i])
+            mem.store(layout.h_vals + i * VALUE_BYTES, h0[pe][i])
+        for direction in ("e", "h"):
+            adj = graph.e_adj if direction == "e" else graph.h_adj
+            plan = graph.e_plan if direction == "e" else graph.h_plan
+            vals = layout.h_vals if direction == "e" else layout.e_vals
+            ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
+            base = layout.e_adj if direction == "e" else layout.h_adj
+            cursor = base
+            for edges in adj[pe]:
+                for owner, idx, weight in edges:
+                    if version == "simple":
+                        ref = GlobalPtr(owner,
+                                        vals + idx * VALUE_BYTES).encode()
+                    elif owner == pe:
+                        ref = vals + idx * VALUE_BYTES
+                    else:
+                        slot = plan.ghost_slot[pe][(owner, idx)]
+                        ref = ghosts + slot * ghost_stride
+                    mem.store(cursor, ref)
+                    mem.store(cursor + WORD_BYTES, weight)
+                    cursor += entry_words * WORD_BYTES
+    return layout
+
+
+def _compute_phase(sc, graph: Em3dGraph, layout: Layout, direction: str,
+                   optimized: bool, simple: bool):
+    """Recompute this processor's values for one direction."""
+    ctx = sc.ctx
+    n = graph.nodes_per_pe
+    adj_base = layout.e_adj if direction == "e" else layout.h_adj
+    out_base = layout.e_vals if direction == "e" else layout.h_vals
+    per_edge_overhead = (0.5 if optimized
+                         else ctx.node.alpha.loop_iteration() + 1.0)
+    cursor = adj_base
+    for i in range(n):
+        acc = 0.0
+        for _ in range(graph.degree):
+            ref = ctx.local_read(cursor)
+            weight = ctx.local_read(cursor + WORD_BYTES)
+            cursor += 2 * WORD_BYTES
+            if simple:
+                value = sc.read(GlobalPtr.decode(ref))
+            else:
+                value = ctx.local_read(ref)
+            acc += weight * value
+            ctx.charge(ctx.node.alpha.flop_pair())
+            ctx.charge(per_edge_overhead)
+        ctx.local_write(out_base + i * VALUE_BYTES, acc)
+
+
+def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
+    """Fill ghosts with blocking reads (bundle/unroll) or gets."""
+    plan = graph.e_plan if direction == "e" else graph.h_plan
+    vals = layout.h_vals if direction == "e" else layout.e_vals
+    ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
+    me = sc.my_pe
+    for src in sorted(plan.needed[me]):
+        for idx in plan.needed[me][src]:
+            slot = plan.ghost_slot[me][(src, idx)]
+            target = GlobalPtr(src, vals + idx * VALUE_BYTES)
+            if use_get:
+                sc.get(target, ghosts + slot * VALUE_BYTES)
+            else:
+                value = sc.read(target)
+                sc.ctx.local_write(ghosts + slot * VALUE_BYTES, value)
+    if use_get:
+        sc.sync()
+
+
+def _ghost_fill_puts(sc, graph, layout, direction: str):
+    """Owners push their values into consumers' ghost slots."""
+    plan = graph.e_plan if direction == "e" else graph.h_plan
+    vals = layout.h_vals if direction == "e" else layout.e_vals
+    ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
+    me = sc.my_pe
+    for consumer in range(graph.num_pes):
+        if consumer == me:
+            continue
+        idxs = plan.needed[consumer].get(me)
+        if not idxs:
+            continue
+        for idx in idxs:
+            slot = plan.ghost_slot[consumer][(me, idx)]
+            value = sc.ctx.local_read(vals + idx * VALUE_BYTES)
+            sc.put(GlobalPtr(consumer, ghosts + slot * VALUE_BYTES), value)
+    # Completion is deferred to the all_store_sync that follows.
+
+
+def _gather_and_bulk(sc, graph, layout, direction: str):
+    """Bulk version: gather per-consumer buffers, then one bulk
+    transfer per (consumer, source) pair.  Generator (barriers)."""
+    plan = graph.e_plan if direction == "e" else graph.h_plan
+    vals = layout.h_vals if direction == "e" else layout.e_vals
+    ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
+    me = sc.my_pe
+    # Gather: my values needed by each consumer, in the agreed order.
+    for consumer in range(graph.num_pes):
+        if consumer == me:
+            continue
+        idxs = plan.needed[consumer].get(me)
+        if not idxs:
+            continue
+        buf = layout.gather + consumer * layout.gather_pair_words * WORD_BYTES
+        for k, idx in enumerate(idxs):
+            value = sc.ctx.local_read(vals + idx * VALUE_BYTES)
+            sc.ctx.local_write(buf + k * WORD_BYTES, value)
+    sc.ctx.memory_barrier()
+    yield from sc.barrier()            # all gather buffers ready
+    # Fetch: one bulk get per source processor.
+    for src in sorted(plan.needed[me]):
+        idxs = plan.needed[me][src]
+        buf = layout.gather + me * layout.gather_pair_words * WORD_BYTES
+        dst = ghosts + plan.slot_base(me, src) * WORD_BYTES
+        sc.bulk_get(dst, GlobalPtr(src, buf), len(idxs) * WORD_BYTES)
+    sc.sync()
+
+
+def _ghost_region(graph, layout, direction: str):
+    """The consumer-side ghost address region for one direction."""
+    base = layout.e_ghosts if direction == "e" else layout.h_ghosts
+    return (base, base + _plan_max_ghosts(graph) * VALUE_BYTES)
+
+
+def _half_step(sc, graph, layout, version: str, direction: str,
+               end_barrier: bool = True):
+    """Communication + compute for one direction.  Generator."""
+    if version == "simple":
+        pass                           # reads happen inside compute
+    elif version in ("bundle", "unroll"):
+        _ghost_fill_reads(sc, graph, layout, direction, use_get=False)
+    elif version == "get":
+        _ghost_fill_reads(sc, graph, layout, direction, use_get=True)
+    elif version == "put":
+        _ghost_fill_puts(sc, graph, layout, direction)
+        yield from sc.all_store_sync()
+    elif version == "bulk":
+        yield from _gather_and_bulk(sc, graph, layout, direction)
+    elif version == "msg":
+        # Message-driven: one-way stores + local completion detection.
+        # The memory barrier only pushes the stores out of the write
+        # buffer; no acknowledgements are awaited (section 7.1).
+        _ghost_fill_puts(sc, graph, layout, direction)
+        sc.ctx.memory_barrier()
+        plan = graph.e_plan if direction == "e" else graph.h_plan
+        expected = plan.ghost_count(sc.my_pe) * WORD_BYTES
+        yield from sc.store_sync(expected,
+                                 region=_ghost_region(graph, layout,
+                                                      direction))
+    else:
+        raise ValueError(f"unknown EM3D version {version!r}")
+    _compute_phase(sc, graph, layout, direction,
+                   optimized=version in _OPTIMIZED_COMPUTE,
+                   simple=version == "simple")
+    if end_barrier:
+        yield from sc.barrier()
+
+
+def run_em3d(machine, graph: Em3dGraph, version: str, steps: int = 2,
+             warmup_steps: int = 1, seed: int = 7) -> Em3dResult:
+    """Run one EM3D version; returns timing and final field values.
+
+    The machine must be freshly constructed (symmetric heaps).  The
+    warm-up steps populate caches and open DRAM rows, as the paper's
+    timed region follows untimed iterations.
+    """
+    if version not in VERSIONS:
+        raise ValueError(f"version must be one of {VERSIONS}")
+    layout = _setup(machine, graph, version, seed)
+
+    def program(sc):
+        # The message-driven version needs no barrier between the two
+        # half-steps: each consumer's region-scoped store_sync orders
+        # it; a single barrier per whole step bounds phase skew.
+        e_barrier = version != "msg"
+        for _ in range(warmup_steps):
+            yield from _half_step(sc, graph, layout, version, "e",
+                                  end_barrier=e_barrier)
+            yield from _half_step(sc, graph, layout, version, "h")
+        yield from sc.barrier()
+        start = sc.ctx.clock
+        for _ in range(steps):
+            yield from _half_step(sc, graph, layout, version, "e",
+                                  end_barrier=e_barrier)
+            yield from _half_step(sc, graph, layout, version, "h")
+        elapsed = sc.ctx.clock - start
+        sc.ctx.memory_barrier()
+        n = graph.nodes_per_pe
+        final_e = [sc.ctx.node.memsys.memory.load(
+            layout.e_vals + i * VALUE_BYTES) for i in range(n)]
+        final_h = [sc.ctx.node.memsys.memory.load(
+            layout.h_vals + i * VALUE_BYTES) for i in range(n)]
+        return elapsed, final_e, final_h
+
+    results, runtimes = run_splitc(machine, program)
+    edges = steps * graph.edges_per_pe
+    per_pe = [elapsed / edges for elapsed, _e, _h in results]
+    cycles_per_edge = sum(per_pe) / len(per_pe)
+    merged = runtimes[0].stats
+    for sc in runtimes[1:]:
+        merged = merged.merge(sc.stats)
+    return Em3dResult(
+        version=version,
+        us_per_edge=cycles_per_edge * CYCLE_NS / 1000.0,
+        cycles_per_edge=cycles_per_edge,
+        per_pe_cycles_per_edge=per_pe,
+        e_values=[e for _t, e, _h in results],
+        h_values=[h for _t, _e, h in results],
+        stats=merged,
+    )

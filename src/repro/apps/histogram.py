@@ -1,0 +1,137 @@
+"""Distributed histogram over Active Messages (section 7.4 in use).
+
+Concurrent increments are exactly the operation the T3D's raw remote
+reads and writes get wrong (a read-modify-write from two processors
+loses updates, like the byte store of section 4.5).  The paper's
+answer is the fetch&increment-based request queue: ship the increment
+to the bin's owner, who applies it atomically on its own thread.
+
+Two implementations are provided:
+
+* ``"am"`` — the correct one: increments travel as Active-Message
+  requests; owners poll and apply.
+* ``"racy"`` — read-modify-write with blocking reads/writes; kept so
+  the probe suite and benchmarks can show the lost updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.params import CYCLE_NS, WORD_BYTES
+from repro.splitc.am import ActiveMessages
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+__all__ = ["HistogramResult", "run_histogram"]
+
+
+@dataclass
+class HistogramResult:
+    """Outcome of one histogram run."""
+
+    method: str
+    bins: list             # final counts, globally indexed
+    total_counted: int     # sum of bins
+    total_samples: int
+    lost_updates: int
+    total_cycles: float
+    us_total: float
+
+
+def run_histogram(machine, num_bins: int = 32,
+                  samples_per_pe: int = 64, method: str = "am",
+                  seed: int = 42) -> HistogramResult:
+    """Histogram ``samples_per_pe`` values per processor into
+    ``num_bins`` bins spread cyclically over processors."""
+    if method not in ("am", "racy"):
+        raise ValueError(f"unknown method {method!r}")
+    num_pes = machine.num_nodes
+    bins_per_pe = -(-num_bins // num_pes)
+    bins_base = machine.symmetric_alloc(bins_per_pe * WORD_BYTES)
+
+    def bin_owner(b: int) -> int:
+        return b % num_pes
+
+    def bin_addr(b: int) -> int:
+        return bins_base + (b // num_pes) * WORD_BYTES
+
+    def program(sc):
+        ctx = sc.ctx
+        am = ActiveMessages(sc)
+
+        def increment_handler(am_, src_pe, addr):
+            count = ctx.local_read(addr)
+            ctx.local_write(addr, int(count) + 1)
+
+        handler = am.register_handler(increment_handler)
+        am.attach()
+        for i in range(bins_per_pe):
+            ctx.local_write(bins_base + i * WORD_BYTES, 0)
+        ctx.memory_barrier()
+        yield from sc.barrier()
+        start = ctx.clock
+
+        rng = Random(seed + sc.my_pe)
+        samples = [rng.randrange(num_bins) for _ in range(samples_per_pe)]
+        if method == "am":
+            for b in samples:
+                target = GlobalPtr(bin_owner(b), bin_addr(b))
+                if target.is_local_to(sc.my_pe):
+                    increment_handler(am, sc.my_pe, target.addr)
+                else:
+                    am.send(target.pe, handler, target.addr)
+                am.poll()                      # drain incoming work
+        else:
+            # Racy read-modify-write, processed in batches: every
+            # processor reads its batch's counts, then writes the
+            # incremented values back.  This is one legal interleaving
+            # of the unsynchronized updates the hardware permits —
+            # increments to a bin two processors touch in the same
+            # batch clobber each other (the section 4.5 failure mode
+            # at word granularity).
+            batch = 8
+            for lo in range(0, len(samples), batch):
+                chunk = samples[lo:lo + batch]
+                counts = []
+                for b in chunk:
+                    target = GlobalPtr(bin_owner(b), bin_addr(b))
+                    counts.append(int(sc.read(target)))
+                    counts[-1] += 1
+                yield from sc.barrier()        # all reads precede...
+                for b, new in zip(chunk, counts):
+                    target = GlobalPtr(bin_owner(b), bin_addr(b))
+                    sc.write(target, new)
+                yield from sc.barrier()        # ...all writes
+        # Drain stragglers.  A barrier exit time always exceeds the
+        # arrival time of any request sent before the barrier was
+        # started, so one post-barrier drain round catches everything.
+        if method == "am":
+            yield from sc.barrier()
+            while am.poll() is not None:
+                pass
+        yield from sc.barrier()
+        elapsed = ctx.clock - start
+        ctx.memory_barrier()
+        counts = [int(ctx.node.memsys.memory.load(
+            bins_base + i * WORD_BYTES)) for i in range(bins_per_pe)]
+        return elapsed, counts
+
+    results, _ = run_splitc(machine, program)
+    bins = [0] * num_bins
+    for b in range(num_bins):
+        owner = bin_owner(b)
+        bins[b] = results[owner][1][b // num_pes]
+    total_samples = samples_per_pe * num_pes
+    total_counted = sum(bins)
+    total = max(elapsed for elapsed, _c in results)
+    return HistogramResult(
+        method=method,
+        bins=bins,
+        total_counted=total_counted,
+        total_samples=total_samples,
+        lost_updates=total_samples - total_counted,
+        total_cycles=total,
+        us_total=total * CYCLE_NS / 1000.0,
+    )

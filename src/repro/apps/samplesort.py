@@ -1,0 +1,180 @@
+"""Distributed sample sort: the classic Split-C benchmark shape.
+
+Sample sort was a staple of the original Split-C suite (the paper's
+reference [6]); it composes nearly every primitive this library
+provides:
+
+1. **local sort** of each processor's keys;
+2. **splitter selection** — every processor contributes samples via
+   :func:`~repro.splitc.collectives.all_gather`; the sorted sample
+   array yields P-1 splitters, identical everywhere;
+3. **partition** — each processor buckets its keys by splitter;
+4. **count exchange** — bucket sizes travel as signaling stores, a
+   single ``all_store_sync`` publishes them;
+5. **all-to-all** — every processor *pulls* its incoming buckets with
+   one bulk transfer per source (the symmetric bucket layout makes the
+   source addresses computable without negotiation);
+6. **local merge** of the received, already-sorted runs.
+
+Two exchange variants mirror the EM3D ladder's extremes:
+``"element"`` fetches bucket entries with blocking reads,
+``"bulk"`` uses the measured bulk dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.params import CYCLE_NS, WORD_BYTES
+from repro.splitc.collectives import all_gather
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+__all__ = ["SampleSortResult", "run_sample_sort"]
+
+METHODS = ("bulk", "element")
+
+#: Modeled cost of one compare-and-branch in sorting/merging code.
+_COMPARE_CYCLES = 8.0
+
+
+@dataclass
+class SampleSortResult:
+    """Outcome of one distributed sort."""
+
+    method: str
+    keys_per_pe: int
+    total_cycles: float
+    us_total: float
+    sorted_keys: list         # the full sorted sequence, gathered
+    per_pe_counts: list       # how many keys each PE ended up with
+
+
+def _charge_sort(ctx, n: int) -> None:
+    """Cost model for a local comparison sort of n keys."""
+    if n > 1:
+        ctx.charge(_COMPARE_CYCLES * n * math.ceil(math.log2(n)))
+
+
+def _charge_merge(ctx, n: int, runs: int) -> None:
+    """Cost model for a k-way merge of n total keys."""
+    if n > 0 and runs > 1:
+        ctx.charge(_COMPARE_CYCLES * n * math.ceil(math.log2(runs)))
+
+
+def run_sample_sort(machine, keys_per_pe: int = 64,
+                    oversample: int = 4, method: str = "bulk",
+                    seed: int = 1995) -> SampleSortResult:
+    """Sort ``keys_per_pe`` random keys per processor globally."""
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}")
+    if keys_per_pe < 1:
+        raise ValueError("need at least one key per processor")
+    num_pes = machine.num_nodes
+    # Symmetric layout: per-destination outgoing buckets (worst case
+    # all keys to one bucket), per-bucket count slots, receive area.
+    bucket_words = keys_per_pe
+    buckets_base = machine.symmetric_alloc(
+        num_pes * bucket_words * WORD_BYTES)
+    counts_base = machine.symmetric_alloc(num_pes * WORD_BYTES)
+    recv_capacity = num_pes * keys_per_pe
+    recv_base = machine.symmetric_alloc(recv_capacity * WORD_BYTES)
+
+    def bucket_addr(dest: int) -> int:
+        return buckets_base + dest * bucket_words * WORD_BYTES
+
+    def program(sc):
+        ctx = sc.ctx
+        me = sc.my_pe
+        rng = Random(seed + me)
+        keys = [rng.randrange(1_000_000) for _ in range(keys_per_pe)]
+        yield from sc.barrier()
+        start = ctx.clock
+
+        # 1. Local sort.
+        keys.sort()
+        _charge_sort(ctx, keys_per_pe)
+
+        # 2. Splitters: gather `oversample` evenly-spaced samples from
+        # everyone (one all_gather per sample position keeps the
+        # collective scratch simple).
+        samples = []
+        for k in range(oversample):
+            position = (k * keys_per_pe) // oversample
+            gathered = yield from all_gather(sc, keys[position])
+            samples.extend(gathered)
+        samples.sort()
+        _charge_sort(ctx, len(samples))
+        step = len(samples) // num_pes
+        splitters = [samples[(d + 1) * step - 1]
+                     for d in range(num_pes - 1)]
+
+        # 3. Partition into per-destination buckets (binary search per
+        # key, charged; the keys are sorted so this is a sweep).
+        buckets = [[] for _ in range(num_pes)]
+        dest = 0
+        for key in keys:
+            while dest < num_pes - 1 and key > splitters[dest]:
+                dest += 1
+            buckets[dest].append(key)
+            ctx.charge(_COMPARE_CYCLES)
+        for d, bucket in enumerate(buckets):
+            base = bucket_addr(d)
+            for i, key in enumerate(bucket):
+                ctx.local_write(base + i * WORD_BYTES, key)
+        ctx.memory_barrier()
+
+        # 4. Publish bucket counts: one signaling store per
+        # destination into its count slot for this source.
+        for d in range(num_pes):
+            target = GlobalPtr(d, counts_base + me * WORD_BYTES)
+            if d == me:
+                ctx.local_write(target.addr, len(buckets[d]))
+            else:
+                sc.store(target, len(buckets[d]))
+        ctx.memory_barrier()
+        yield from sc.all_store_sync()
+
+        # 5. Pull my incoming buckets, one transfer per source.
+        incoming = [int(ctx.local_read(counts_base + s * WORD_BYTES))
+                    for s in range(num_pes)]
+        offsets = [0]
+        for count in incoming[:-1]:
+            offsets.append(offsets[-1] + count)
+        for src in range(num_pes):
+            count = incoming[src]
+            if count == 0:
+                continue
+            src_ptr = GlobalPtr(src, bucket_addr(me))
+            dst = recv_base + offsets[src] * WORD_BYTES
+            if method == "bulk":
+                sc.bulk_read(dst, src_ptr, count * WORD_BYTES)
+            else:
+                for i in range(count):
+                    value = sc.read(src_ptr.local_add(i * WORD_BYTES))
+                    ctx.local_write(dst + i * WORD_BYTES, value)
+        ctx.memory_barrier()
+
+        # 6. Merge the per-source sorted runs.
+        total = sum(incoming)
+        mine = [ctx.local_read(recv_base + i * WORD_BYTES)
+                for i in range(total)]
+        mine.sort()
+        _charge_merge(ctx, total, runs=max(1, sum(
+            1 for c in incoming if c)))
+        yield from sc.barrier()
+        return ctx.clock - start, mine
+
+    results, _ = run_splitc(machine, program)
+    sorted_keys = [key for _t, mine in results for key in mine]
+    total = max(elapsed for elapsed, _m in results)
+    return SampleSortResult(
+        method=method,
+        keys_per_pe=keys_per_pe,
+        total_cycles=total,
+        us_total=total * CYCLE_NS / 1000.0,
+        sorted_keys=sorted_keys,
+        per_pe_counts=[len(mine) for _t, mine in results],
+    )

@@ -1,0 +1,9 @@
+"""The assembled CRAY-T3D: nodes (core + memory + shell) on a torus,
+plus the SPMD execution context.
+"""
+
+from repro.machine.context import Context
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+
+__all__ = ["Context", "Machine", "Node"]

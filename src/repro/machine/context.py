@@ -1,0 +1,102 @@
+"""Per-processor SPMD execution context.
+
+A :class:`Context` carries one processor's virtual clock and wraps the
+node's hardware with clock-advancing convenience methods.  Blocking
+primitives are generator methods used with ``yield from`` inside SPMD
+programs; everything else is a plain call.
+
+The Split-C runtime (:mod:`repro.splitc`) builds the language on top
+of these; micro-benchmarks may also drive a context directly.
+"""
+
+from __future__ import annotations
+
+from repro.simkernel.conditions import (
+    BarrierCondition,
+    BytesArrivedCondition,
+    MessageCondition,
+)
+
+__all__ = ["Context"]
+
+
+class Context:
+    """One SPMD thread's view of the machine."""
+
+    def __init__(self, machine, node):
+        self.machine = machine
+        self.node = node
+        self.pe = node.pe
+        self.clock = 0.0
+
+    @property
+    def num_pes(self) -> int:
+        return self.machine.num_nodes
+
+    def charge(self, cycles: float) -> None:
+        """Advance this processor's clock by an instruction cost."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.clock += cycles
+
+    # ------------------------------------------------------------------
+    # Local memory
+    # ------------------------------------------------------------------
+
+    def local_read(self, addr: int):
+        """Load a word from local memory; returns the value."""
+        cycles, value = self.node.memsys.read(self.clock, addr)
+        self.clock += cycles
+        return value
+
+    def local_write(self, addr: int, value) -> None:
+        """Store a word to local memory (through the write buffer)."""
+        self.clock += self.node.memsys.write(self.clock, addr, value)
+
+    def memory_barrier(self) -> None:
+        """Drain the write buffer (the Alpha ``mb`` instruction)."""
+        self.clock = self.node.memsys.memory_barrier(self.clock)
+
+    # ------------------------------------------------------------------
+    # Blocking primitives (generator methods; use ``yield from``)
+    # ------------------------------------------------------------------
+
+    def barrier(self):
+        """Full hardware barrier: start, wait for all, end."""
+        epoch = yield from self.barrier_start()
+        yield from self.barrier_wait(epoch)
+
+    def barrier_start(self):
+        """Fuzzy-barrier start: announce arrival, return the epoch.
+
+        Code placed between :meth:`barrier_start` and
+        :meth:`barrier_wait` runs inside the fuzzy window
+        (section 7.5).
+        """
+        cost, epoch = self.machine.barrier.start(self.pe, self.clock)
+        self.clock += cost
+        return epoch
+        # Make this a generator for uniform ``yield from`` call sites.
+        yield  # pragma: no cover
+
+    def barrier_wait(self, epoch: int):
+        """Fuzzy-barrier end: wait for everyone, reset the tree bit.
+
+        A completed barrier is a synchronization point: every effect
+        scheduled before it (write-buffer drains whose retire times
+        have passed) is made visible before any thread proceeds.
+        """
+        yield BarrierCondition(self.machine.barrier, self.pe, epoch)
+        self.machine.settle()
+        self.clock += self.machine.barrier.end(self.pe, epoch, self.clock)
+
+    def wait_for_bytes(self, total_bytes: int, region=None):
+        """Block until ``total_bytes`` have cumulatively been stored
+        into this node (``store_sync`` machinery); with ``region`` a
+        half-open address pair, only stores landing there count."""
+        yield BytesArrivedCondition(self.node, total_bytes, region)
+
+    def wait_message(self):
+        """Block until a hardware message is available; does not
+        receive it (callers then use ``node.msgq.receive``)."""
+        yield MessageCondition(self.node.msgq)

@@ -1,0 +1,139 @@
+"""One T3D node: Alpha core + memory system + shell units.
+
+The node also keeps the arrival log of remotely-stored bytes, which is
+the machine state behind the Split-C ``store_sync`` primitive: a
+receiver can ask "by when had N bytes arrived?".
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.node.alpha import AlphaCosts
+from repro.node.memsys import MemorySystem
+from repro.params import MachineParams
+from repro.shell.annex import DtbAnnex
+from repro.shell.atomics import AtomicUnit
+from repro.shell.blt import BlockTransferEngine
+from repro.shell.msgqueue import MessageUnit
+from repro.shell.prefetch import PrefetchQueue
+from repro.shell.remote import RemoteAccessUnit
+
+__all__ = ["HeapAllocator", "Node"]
+
+
+class HeapAllocator:
+    """Bump allocator for a node's local region of the global space.
+
+    The local region holds statics and a heap portion (section 3.1);
+    a simple monotone allocator suffices for the reproduction's
+    programs.  The base is offset from zero so that null (address 0)
+    never aliases an allocation.
+    """
+
+    def __init__(self, base: int = 0x1000):
+        self._next = base
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve ``nbytes``; returns the starting local offset."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        start = (self._next + align - 1) & ~(align - 1)
+        self._next = start + nbytes
+        return start
+
+    @property
+    def high_water(self) -> int:
+        return self._next
+
+
+class Node:
+    """A processing element with its full complement of shell units."""
+
+    def __init__(self, pe: int, params: MachineParams, fabric):
+        self.pe = pe
+        self.params = params
+        self.memsys = MemorySystem(params.node)
+        self.alpha = AlphaCosts(params.node.alpha)
+        self.annex = DtbAnnex(params.shell.annex, pe)
+        self.remote = RemoteAccessUnit(
+            params.shell.remote, params.network, pe, self.memsys, fabric)
+        self.prefetch = PrefetchQueue(
+            params.shell.prefetch, params.network, pe, fabric)
+        self.blt = BlockTransferEngine(params.shell.blt, pe, fabric)
+        self.atomics = AtomicUnit(params.shell.atomics, pe, fabric)
+        self.msgq = MessageUnit(params.shell.msgq, params.network, pe, fabric)
+        self.heap = HeapAllocator()
+        #: Set by repro.splitc.am.ActiveMessages.attach(): the AM
+        #: endpoint receiving requests deposited into this node.
+        self.am_endpoint = None
+        #: Inbound network-interface occupancy: arriving store packets
+        #: serialize here, so many-to-one traffic queues (incast).
+        self.inbound_busy_until = 0.0
+        # Time-sorted log of store arrivals into this node's memory:
+        # (arrival_time, nbytes, local_addr).  Cumulative queries may
+        # be scoped to an address region — the machinery behind both
+        # the plain Split-C ``store_sync`` and the region-scoped
+        # extension used by message-driven phase counting.
+        self._arrivals: list[tuple[float, int, int]] = []
+
+    def reset(self) -> None:
+        """Cold-start the node (between benchmark runs)."""
+        self.memsys.reset()
+        self.remote.reset()
+        self.prefetch.reset()
+        self.atomics.reset()
+        self.msgq.reset()
+        self._arrivals = []
+        self.inbound_busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Store-arrival bookkeeping (store_sync support, section 7.1)
+    # ------------------------------------------------------------------
+
+    def record_store_arrival(self, nbytes: int, arrival_time: float,
+                             addr: int = 0) -> None:
+        """Log ``nbytes`` landing at ``arrival_time`` near ``addr``.
+
+        Arrivals from different senders are not time-ordered; the log
+        keeps them sorted so cumulative queries stay correct.
+        """
+        entry = (arrival_time, nbytes, addr)
+        index = bisect.bisect_right(self._arrivals, (arrival_time,
+                                                     float("inf"), 0))
+        self._arrivals.insert(index, entry)
+
+    def _in_region(self, addr: int, region) -> bool:
+        if region is None:
+            return True
+        lo, hi = region
+        return lo <= addr < hi
+
+    def bytes_arrived_total(self, region=None) -> int:
+        """All bytes stored into this node (optionally only those
+        landing in the half-open address ``region``)."""
+        return sum(nbytes for _t, nbytes, addr in self._arrivals
+                   if self._in_region(addr, region))
+
+    def time_when_bytes_arrived(self, target_bytes: int,
+                                region=None) -> float:
+        """Earliest time by which ``target_bytes`` had cumulatively
+        arrived (within ``region`` if given).  Raises if that many
+        bytes never arrived (callers check :meth:`bytes_arrived_total`
+        / use the blocking condition).
+        """
+        if target_bytes <= 0:
+            return 0.0
+        total = 0
+        for arrival_time, nbytes, addr in self._arrivals:
+            if not self._in_region(addr, region):
+                continue
+            total += nbytes
+            if total >= target_bytes:
+                return arrival_time
+        raise RuntimeError(
+            f"only {total} bytes ever arrived in region; "
+            f"{target_bytes} requested"
+        )

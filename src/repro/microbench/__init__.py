@@ -1,0 +1,35 @@
+"""The gray-box micro-benchmarking methodology (paper section 2.1).
+
+The system is treated as a gray box: design documents fix the
+*functional* picture, and simple probes — controlled address streams —
+establish the *performance* picture empirically.  The package mirrors
+the paper's toolchain:
+
+* :mod:`~repro.microbench.harness` — stimulus generation (the sawtooth
+  stride loop), repetition, and averaging with loop overhead excluded.
+* :mod:`~repro.microbench.probes` — the actual probes: local/remote
+  read and write latency profiles, prefetch group costs, bulk-transfer
+  bandwidths, and the semantic-hazard demonstrations.
+* :mod:`~repro.microbench.analyze` — gray-box inference: recover cache
+  size, line size, associativity, DRAM paging, TLB reach, and
+  write-buffer depth from the latency curves alone.
+* :mod:`~repro.microbench.report` — ASCII tables and curve summaries,
+  including paper-vs-measured comparisons.
+"""
+
+from repro.microbench.analyze import MemoryProfile, analyze_read_curves, analyze_write_curves
+from repro.microbench.harness import LatencyCurves, ProbePoint, run_stride_probe
+from repro.microbench import probes
+from repro.microbench.report import format_curves, format_comparison
+
+__all__ = [
+    "LatencyCurves",
+    "MemoryProfile",
+    "ProbePoint",
+    "analyze_read_curves",
+    "analyze_write_curves",
+    "format_comparison",
+    "format_curves",
+    "probes",
+    "run_stride_probe",
+]

@@ -1,0 +1,221 @@
+"""Gray-box inference: recover machine structure from latency curves
+(paper section 2.2, after Saavedra).
+
+Given only the read-latency curves of the sawtooth probe, the analyzer
+recovers what the paper's authors read off their plots:
+
+* **L1 size** — the largest array size whose curve still sits at the
+  hit plateau for every stride;
+* **line size** — the stride at which a miss-dominated curve stops
+  rising (the miss rate has saturated at one);
+* **associativity** — direct-mapped if latency does not drop back to
+  the hit time when the stride reaches half the array size (only two
+  distinct addresses left, which any 2-way cache would co-resident);
+* **cache levels** — per-size "level latency" at moderate strides: an
+  intermediate plateau between the L1 hit time and the largest-array
+  latency is an L2 (present on the workstation, absent on the T3D);
+* **large-stride rise attribution** — the paper's own argument: a rise
+  first appearing at an array size spanning only a handful of strides
+  would imply an implausibly tiny TLB, so it must be DRAM paging; a
+  rise appearing only once the array spans dozens of pages is a real
+  TLB (the workstation's 8 KB pages);
+* **write buffer** — from the write curves: depth is memory access
+  time / steady-state non-merged cost (the paper's 145/35 ~= 4), and
+  merging shows as sub-line strides costing only the issue time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.microbench.harness import LatencyCurves
+
+__all__ = ["MemoryProfile", "WriteProfile", "analyze_read_curves",
+           "analyze_write_curves"]
+
+KB = 1024
+
+#: A rise whose first-appearance array size implies at most this many
+#: translation entries is attributed to DRAM paging, not a TLB
+#: (section 2.2: "this would imply a 2-entry TLB").
+PLAUSIBLE_TLB_ENTRIES = 16
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Structure inferred from read-latency curves."""
+
+    hit_cycles: float
+    l1_size: int
+    line_bytes: int
+    direct_mapped: bool
+    memory_cycles: float
+    has_l2: bool
+    l2_size: int | None
+    l2_cycles: float | None
+    dram_page_rise_stride: int | None
+    worst_case_cycles: float
+    tlb_visible: bool
+    tlb_page_bytes: int | None
+
+
+@dataclass(frozen=True)
+class WriteProfile:
+    """Structure inferred from write-latency curves."""
+
+    merged_cycles: float
+    steady_cycles: float
+    write_merging: bool
+    buffer_depth: int
+    #: Smallest stride at which merging stops helping — the write
+    #: buffer's merge granularity, i.e. the cache-line size as seen
+    #: from the store side (32 B on the 21064, section 2.3).
+    merge_reach_bytes: int | None = None
+
+
+def _level(curves: LatencyCurves, size: int, line_bytes: int) -> float | None:
+    """The size's plateau latency at moderate strides (line .. 4x)."""
+    values = [p.avg_cycles for p in curves.curve(size)
+              if line_bytes <= p.stride <= 4 * line_bytes]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def analyze_read_curves(curves: LatencyCurves) -> MemoryProfile:
+    """Infer memory-system structure from Figure 1-style curves."""
+    sizes = curves.sizes()
+    if not sizes:
+        raise ValueError("no probe points to analyze")
+
+    # Hit time: the smallest array at its smallest stride.
+    smallest = sorted(curves.curve(sizes[0]), key=lambda p: p.stride)
+    hit = min(p.avg_cycles for p in smallest)
+
+    # L1 size: the largest size whose whole curve stays near the hit time.
+    l1_size = sizes[0]
+    for size in sizes:
+        if max(p.avg_cycles for p in curves.curve(size)) <= 2.0 * hit:
+            l1_size = size
+        else:
+            break
+
+    # Line size and associativity from the first miss-dominated curve.
+    beyond = [s for s in sizes if s >= 4 * l1_size] or [sizes[-1]]
+    knee_curve = sorted(curves.curve(beyond[0]), key=lambda p: p.stride)
+    line_bytes = knee_curve[-1].stride
+    for a, b in zip(knee_curve, knee_curve[1:]):
+        if b.avg_cycles <= a.avg_cycles * 1.2:
+            line_bytes = a.stride
+            break
+    direct_mapped = knee_curve[-1].avg_cycles > 4.0 * hit
+
+    # Level latencies per size reveal the cache hierarchy.
+    levels = {s: _level(curves, s, line_bytes) for s in sizes}
+    memory_cycles = levels[sizes[-1]]
+    has_l2 = False
+    l2_size = None
+    l2_cycles = None
+    for size in sizes:
+        level = levels[size]
+        if level is None or size <= l1_size:
+            continue
+        if 2.0 * hit < level < 0.6 * memory_cycles:
+            has_l2 = True
+            l2_size = size
+            l2_cycles = level
+
+    # Large-stride rise on the largest array: DRAM paging or TLB?
+    largest = sorted(curves.curve(sizes[-1]), key=lambda p: p.stride)
+    rising = [p for p in largest
+              if p.stride > 4 * line_bytes
+              and p.avg_cycles > memory_cycles * 1.15]
+    worst = max(p.avg_cycles for p in largest)
+    dram_rise = None
+    tlb_visible = False
+    tlb_page = None
+    if rising:
+        rise_stride = rising[0].stride
+        # First array size exhibiting the rise at that stride, each
+        # compared against its own plateau (an L2-resident array rises
+        # from the L2 level, not from memory).
+        first_size = sizes[-1]
+        for size in sizes:
+            if size <= rise_stride or levels[size] is None:
+                continue
+            try:
+                point = curves.at(size, rise_stride)
+            except KeyError:
+                continue
+            if point.avg_cycles > levels[size] * 1.15:
+                first_size = size
+                break
+        implied_entries = first_size // rise_stride
+        if implied_entries <= PLAUSIBLE_TLB_ENTRIES:
+            # Too few pages for any real TLB: DRAM page behaviour.
+            # Report the stride at which the rise is fully expressed
+            # (every access off-page), not the half-miss onset.
+            dram_rise = rise_stride
+            for p in rising:
+                if p.avg_cycles >= memory_cycles * 1.25:
+                    dram_rise = p.stride
+                    break
+        else:
+            tlb_visible = True
+            # The page size is where the rise saturates (every access
+            # is a translation miss).
+            threshold = memory_cycles + 0.85 * (worst - memory_cycles)
+            for p in largest:
+                if p.stride > 4 * line_bytes and p.avg_cycles >= threshold:
+                    tlb_page = p.stride
+                    break
+
+    return MemoryProfile(
+        hit_cycles=hit,
+        l1_size=l1_size,
+        line_bytes=line_bytes,
+        direct_mapped=direct_mapped,
+        memory_cycles=memory_cycles,
+        has_l2=has_l2,
+        l2_size=l2_size,
+        l2_cycles=l2_cycles,
+        dram_page_rise_stride=dram_rise,
+        worst_case_cycles=worst,
+        tlb_visible=tlb_visible,
+        tlb_page_bytes=tlb_page,
+    )
+
+
+def analyze_write_curves(curves: LatencyCurves,
+                         memory_cycles: float) -> WriteProfile:
+    """Infer write-buffer behaviour from Figure 2-style curves.
+
+    ``memory_cycles`` comes from the read analysis; the paper divides
+    it by the steady-state write cost to estimate the buffer depth
+    (145 ns / 35 ns ~= 4, section 2.3).
+    """
+    sizes = curves.sizes()
+    big = sorted(curves.curve(sizes[-1]), key=lambda p: p.stride)
+    merged = big[0].avg_cycles                     # smallest stride
+    # Steady non-merged cost: at line-size strides, below DRAM-page
+    # strides.
+    line_region = [p.avg_cycles for p in big if 32 <= p.stride <= 128]
+    steady = (sum(line_region) / len(line_region)
+              if line_region else big[-1].avg_cycles)
+    merging = merged < 0.75 * steady
+    depth = max(1, round(memory_cycles / steady))
+    # Merge reach: the first stride whose average has climbed to the
+    # steady (non-merged) level.
+    merge_reach = None
+    if merging:
+        for p in big:
+            if p.avg_cycles >= 0.9 * steady:
+                merge_reach = p.stride
+                break
+    return WriteProfile(
+        merged_cycles=merged,
+        steady_cycles=steady,
+        write_merging=merging,
+        buffer_depth=depth,
+        merge_reach_bytes=merge_reach,
+    )

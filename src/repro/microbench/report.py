@@ -1,0 +1,107 @@
+"""ASCII reports: latency tables, bandwidth tables, and
+paper-vs-measured comparisons (the EXPERIMENTS.md generators)."""
+
+from __future__ import annotations
+
+from repro.microbench.harness import LatencyCurves
+from repro.params import CYCLE_NS
+
+__all__ = ["format_curves", "format_comparison", "format_bandwidths",
+           "format_group_costs"]
+
+
+def _fmt_size(nbytes: int) -> str:
+    if nbytes >= 1024 * 1024 and nbytes % (1024 * 1024) == 0:
+        return f"{nbytes // (1024 * 1024)}M"
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}K"
+    return str(nbytes)
+
+
+def format_curves(curves: LatencyCurves, unit: str = "ns",
+                  title: str = "") -> str:
+    """Latency table: one row per stride, one column per array size."""
+    sizes = curves.sizes()
+    strides = curves.strides()
+    scale = CYCLE_NS if unit == "ns" else 1.0
+    header = "stride".rjust(8) + "".join(
+        _fmt_size(s).rjust(9) for s in sizes)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stride in strides:
+        row = _fmt_size(stride).rjust(8)
+        for size in sizes:
+            try:
+                point = curves.at(size, stride)
+                row += f"{point.avg_cycles * scale:9.1f}"
+            except KeyError:
+                row += " " * 9
+        lines.append(row)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_comparison(rows, title: str = "") -> str:
+    """Paper-vs-measured table.
+
+    ``rows`` is an iterable of ``(name, paper_value, measured_value,
+    unit)`` tuples; deviation is reported as a ratio.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'quantity':<38}{'paper':>12}{'measured':>12}"
+              f"{'ratio':>8}  unit")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, paper, measured, unit in rows:
+        ratio = measured / paper if paper else float("inf")
+        lines.append(
+            f"{name:<38}{paper:>12.2f}{measured:>12.2f}{ratio:>8.2f}  {unit}")
+    return "\n".join(lines)
+
+
+def format_bandwidths(points, title: str = "") -> str:
+    """Bandwidth table: one row per size, one column per mechanism."""
+    mechanisms = []
+    for p in points:
+        if p.mechanism not in mechanisms:
+            mechanisms.append(p.mechanism)
+    sizes = sorted({p.nbytes for p in points})
+    by_key = {(p.mechanism, p.nbytes): p.mb_per_s for p in points}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "size".rjust(8) + "".join(m.rjust(11) for m in mechanisms)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size in sizes:
+        row = _fmt_size(size).rjust(8)
+        for m in mechanisms:
+            value = by_key.get((m, size))
+            row += f"{value:11.1f}" if value is not None else " " * 11
+        lines.append(row)
+    lines.append("(MB/s)")
+    return "\n".join(lines)
+
+
+def format_group_costs(raw, splitc=None, title: str = "") -> str:
+    """Figure 6 table: per-element cost vs prefetch group size."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'group':>6}{'prefetch ns':>14}"
+    if splitc is not None:
+        header += f"{'split-c get ns':>16}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    splitc_by_group = {g.group: g for g in (splitc or [])}
+    for g in raw:
+        row = f"{g.group:>6}{g.ns_per_element:>14.1f}"
+        if splitc is not None and g.group in splitc_by_group:
+            row += f"{splitc_by_group[g.group].ns_per_element:>16.1f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""3D torus interconnect model.
+
+The T3D network is a 3-D torus; the paper measures roughly 13-20 ns
+(2-3 cycles) of additional latency per hop (section 4.2) and otherwise
+treats the network as a latency pipe, which is how it is modeled here:
+dimension-order routing gives hop counts, and packets pay a per-hop
+cost plus a per-payload-word occupancy.
+"""
+
+from repro.network.router import PacketTimer
+from repro.network.torus import Torus
+
+__all__ = ["PacketTimer", "Torus"]

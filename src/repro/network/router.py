@@ -1,0 +1,45 @@
+"""Packet timing: injection occupancy and flight latency.
+
+The network interface injects packets at a fixed header cost plus an
+incremental cost per additional 8-byte payload word; flight time is the
+per-hop latency of section 4.2 (2-3 cycles/hop) times the route length.
+
+This is a standalone utility for packet-level experiments.  The system
+paths carry their own calibrated timing: remote stores through the
+write-buffer drain (:class:`repro.params.RemoteAccessParams`,
+``store_drain_cycles``), hardware messages through the measured PAL
+send cost (section 7.3), and AM deposits through their constituent
+primitives (section 7.4).
+"""
+
+from __future__ import annotations
+
+from repro.params import NetworkParams, WORD_BYTES
+
+__all__ = ["PacketTimer"]
+
+
+class PacketTimer:
+    """Computes injection occupancy and one-way flight times."""
+
+    def __init__(self, network: NetworkParams):
+        self.network = network
+
+    def injection_cycles(self, payload_words: int) -> float:
+        """Node-interface occupancy to inject one packet."""
+        if payload_words < 1:
+            raise ValueError("a packet carries at least one word")
+        extra = (payload_words - 1) * self.network.per_extra_word_cycles
+        return self.network.packet_inject_cycles + extra
+
+    def flight_cycles(self, hops: int, payload_words: int = 1) -> float:
+        """Wire time from injection to arrival at the destination."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        return hops * self.network.hop_cycles
+
+    def payload_words_for_bytes(self, nbytes: int) -> int:
+        """Words needed to carry ``nbytes`` (at least one)."""
+        if nbytes <= 0:
+            raise ValueError("payload must be positive")
+        return max(1, -(-nbytes // WORD_BYTES))

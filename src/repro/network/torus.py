@@ -1,0 +1,102 @@
+"""3D torus topology: coordinates, dimension-order routes, hop counts."""
+
+from __future__ import annotations
+
+from repro.params import NetworkParams
+
+__all__ = ["Torus"]
+
+
+class Torus:
+    """A 3-dimensional torus of processing nodes.
+
+    Node numbering is row-major over ``(x, y, z)``.  Routing is
+    dimension-order (X then Y then Z), each dimension taking the
+    shorter way around the ring, as in the real machine.
+    """
+
+    def __init__(self, params: NetworkParams):
+        self.params = params
+        self.shape = params.shape
+        if any(dim < 1 for dim in self.shape):
+            raise ValueError(f"torus dimensions must be >= 1, got {self.shape}")
+
+    @property
+    def num_nodes(self) -> int:
+        x, y, z = self.shape
+        return x * y * z
+
+    def coords(self, node: int) -> tuple[int, int, int]:
+        """Coordinates of a node number."""
+        self._check_node(node)
+        x_dim, y_dim, z_dim = self.shape
+        z = node % z_dim
+        y = (node // z_dim) % y_dim
+        x = node // (z_dim * y_dim)
+        return (x, y, z)
+
+    def node_at(self, coords: tuple[int, int, int]) -> int:
+        """Node number of a coordinate triple."""
+        x, y, z = coords
+        x_dim, y_dim, z_dim = self.shape
+        if not (0 <= x < x_dim and 0 <= y < y_dim and 0 <= z < z_dim):
+            raise ValueError(f"coords {coords} outside torus {self.shape}")
+        return (x * y_dim + y) * z_dim + z
+
+    def _ring_distance(self, a: int, b: int, size: int) -> int:
+        """Shorter distance around a ring of the given size."""
+        forward = (b - a) % size
+        return min(forward, size - forward)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between two nodes (dimension-order)."""
+        if src == dst:
+            return 0
+        sx, sy, sz = self.coords(src)
+        dx, dy, dz = self.coords(dst)
+        x_dim, y_dim, z_dim = self.shape
+        return (
+            self._ring_distance(sx, dx, x_dim)
+            + self._ring_distance(sy, dy, y_dim)
+            + self._ring_distance(sz, dz, z_dim)
+        )
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """The dimension-order path from src to dst, inclusive of both.
+
+        Provided for route-level tests and visualization; the timing
+        model only needs :meth:`hops`.
+        """
+        path = [src]
+        cur = list(self.coords(src))
+        target = self.coords(dst)
+        for dim in range(3):
+            size = self.shape[dim]
+            while cur[dim] != target[dim]:
+                forward = (target[dim] - cur[dim]) % size
+                step = 1 if forward <= size - forward else -1
+                cur[dim] = (cur[dim] + step) % size
+                path.append(self.node_at(tuple(cur)))
+        return path
+
+    def hop_latency_cycles(self, src: int, dst: int) -> float:
+        """One-way network latency between two nodes."""
+        return self.hops(src, dst) * self.params.hop_cycles
+
+    def neighbors(self, node: int) -> list[int]:
+        """The up-to-six distinct torus neighbors of a node."""
+        x, y, z = self.coords(node)
+        x_dim, y_dim, z_dim = self.shape
+        out = []
+        for dim, size, coord in ((0, x_dim, x), (1, y_dim, y), (2, z_dim, z)):
+            for step in (-1, 1):
+                c = [x, y, z]
+                c[dim] = (coord + step) % size
+                n = self.node_at(tuple(c))
+                if n != node and n not in out:
+                    out.append(n)
+        return out
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside machine of {self.num_nodes}")

@@ -1,0 +1,26 @@
+"""Node-level hardware models: Alpha 21064 core costs, caches, write
+buffer, page-mode DRAM, and TLB, composed into a memory system.
+
+These are *stateful performance models*: each unit tracks exactly the
+architectural state that determines access latency (cache tags, open
+DRAM pages, write-buffer occupancy, TLB contents) and returns per-access
+costs in 150 MHz cycles.  The micro-benchmarks in
+:mod:`repro.microbench` interrogate them exactly as the paper's assembly
+probes interrogated the real machine.
+"""
+
+from repro.node.cache import Cache
+from repro.node.dram import Dram
+from repro.node.memsys import MemorySystem, t3d_memory_system, workstation_memory_system
+from repro.node.tlb import Tlb
+from repro.node.write_buffer import WriteBuffer
+
+__all__ = [
+    "Cache",
+    "Dram",
+    "MemorySystem",
+    "Tlb",
+    "WriteBuffer",
+    "t3d_memory_system",
+    "workstation_memory_system",
+]

@@ -1,0 +1,87 @@
+"""Alpha 21064 core cost model and byte-manipulation semantics.
+
+Two aspects of the 21064 shape the paper's compiler study and are
+modeled here:
+
+* **Instruction costs** — simple cost constants for ALU work, loop
+  bookkeeping, memory barriers, and off-chip (external register)
+  accesses.  The micro-benchmark harness subtracts loop and address
+  overheads exactly as the paper's assembly probes do, so only the
+  memory-operation components surface in the curves.
+
+* **Byte manipulation** — the Alpha has no byte loads/stores; sub-word
+  data is handled with extract/insert/mask instructions on 64-bit
+  register values (section 1.2).  A byte store therefore compiles to a
+  word read-modify-write, which is not atomic: when two processors
+  update different bytes of the same word, one update can clobber the
+  other (section 4.5).  The functional helpers here implement the
+  extract/insert/mask semantics so that hazard is demonstrable.
+"""
+
+from __future__ import annotations
+
+from repro.params import AlphaParams, WORD_BYTES
+
+__all__ = [
+    "AlphaCosts",
+    "extract_byte",
+    "insert_byte",
+    "merge_byte_into_word",
+]
+
+
+class AlphaCosts:
+    """Instruction-cost helpers for compiled code sequences."""
+
+    def __init__(self, params: AlphaParams):
+        self.params = params
+
+    def alu(self, n: int = 1) -> float:
+        """``n`` register-to-register operations (dual-issue pairs)."""
+        return n * self.params.alu_cycles
+
+    def memory_barrier(self) -> float:
+        """The ``mb`` instruction itself (drain time charged separately)."""
+        return self.params.memory_barrier_cycles
+
+    def loop_iteration(self) -> float:
+        """Branch + index bookkeeping for one compiled loop iteration."""
+        return self.params.loop_overhead_cycles
+
+    def external_register(self) -> float:
+        """Load-locked/store-conditional to a shell register (23 cycles)."""
+        return self.params.external_register_cycles
+
+    def flop_pair(self) -> float:
+        """A dependent floating multiply + add, as in EM3D's inner loop."""
+        return self.params.flop_pair_cycles
+
+
+def _check_byte_index(index: int) -> None:
+    if not 0 <= index < WORD_BYTES:
+        raise ValueError(f"byte index must be in [0, {WORD_BYTES}), got {index}")
+
+
+def extract_byte(word: int, index: int) -> int:
+    """EXTBL: extract byte ``index`` of a 64-bit word value."""
+    _check_byte_index(index)
+    return (word >> (8 * index)) & 0xFF
+
+
+def insert_byte(byte: int, index: int) -> int:
+    """INSBL: position a byte value at byte ``index`` of a zero word."""
+    _check_byte_index(index)
+    if not 0 <= byte <= 0xFF:
+        raise ValueError("byte value out of range")
+    return byte << (8 * index)
+
+
+def merge_byte_into_word(word: int, byte: int, index: int) -> int:
+    """MSKBL + OR: replace byte ``index`` of ``word`` with ``byte``.
+
+    This is the register half of the non-atomic byte-store sequence;
+    the surrounding word load and store are what race on the T3D.
+    """
+    _check_byte_index(index)
+    masked = word & ~(0xFF << (8 * index))
+    return masked | insert_byte(byte, index)

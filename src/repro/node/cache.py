@@ -1,0 +1,106 @@
+"""Set-associative cache timing/state model.
+
+The T3D node has a single on-chip 8 KB direct-mapped, write-through,
+read-allocate data cache with 32-byte lines (sections 1.2 and 2.2).
+The DEC Alpha workstation used for comparison in Figure 1 adds a 512 KB
+board-level cache.  Both are instances of this model.
+
+The model tracks tags only (data lives in the node's backing memory);
+it answers hit/miss and implements fills, invalidations and flushes.
+Because tags store the *full* address, two Annex synonyms — physical
+addresses differing only in their Annex-index bits — map to the same
+set (the index bits are low-order) but can never both be resident,
+which is exactly why the paper found cache synonyms harmless on the
+direct-mapped 21064 (section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.params import CacheParams
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """Tag-array model of one cache level with LRU replacement."""
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        # One list of resident line addresses per set, most recent last.
+        self._sets: list[list[int]] = [[] for _ in range(params.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        """Empty the cache (e.g. between probe runs)."""
+        self._sets = [[] for _ in range(self.params.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def line_addr(self, addr: int) -> int:
+        """Address of the line containing ``addr``."""
+        return addr - (addr % self.params.line_bytes)
+
+    def set_index(self, addr: int) -> int:
+        """Set an address maps to (indexed by low-order line bits)."""
+        return (addr // self.params.line_bytes) % self.params.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Probe the cache; updates LRU order and hit/miss counters."""
+        line = self.line_addr(addr)
+        ways = self._sets[self.set_index(addr)]
+        if line in ways:
+            self.hits += 1
+            if self.params.associativity > 1:
+                ways.remove(line)
+                ways.append(line)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive residency check (no LRU or counter update)."""
+        return self.line_addr(addr) in self._sets[self.set_index(addr)]
+
+    def fill(self, addr: int) -> int | None:
+        """Bring the line holding ``addr`` in; return the evicted line
+        address, or ``None`` if no eviction happened."""
+        line = self.line_addr(addr)
+        ways = self._sets[self.set_index(addr)]
+        if line in ways:
+            return None
+        evicted = None
+        if len(ways) >= self.params.associativity:
+            evicted = ways.pop(0)
+        ways.append(line)
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``; return whether it was present.
+
+        This is the per-line flush used to keep non-coherent remote
+        cached reads safe (section 4.4) and the remote-write-induced
+        invalidation of cache-invalidate mode.
+        """
+        line = self.line_addr(addr)
+        ways = self._sets[self.set_index(addr)]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def flush_all(self) -> int:
+        """Empty the whole cache; return the number of lines dropped.
+
+        Models the batched whole-cache flush the paper found cheaper
+        than per-line flushes for transfers of 8 KB or more
+        (section 6.2, footnote 3).
+        """
+        dropped = sum(len(ways) for ways in self._sets)
+        for ways in self._sets:
+            ways.clear()
+        return dropped
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

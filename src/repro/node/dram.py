@@ -1,0 +1,123 @@
+"""Page-mode DRAM model with bank interleaving.
+
+The T3D node memory (section 2.2 of the paper) is organized as four
+banks interleaved on 16 KB boundaries.  Each bank keeps one DRAM row
+("page") open; an access to a different row pays an off-page penalty
+(+9 cycles, ~60 ns), and back-to-back accesses to the *same* bank that
+also change rows expose the full memory-cycle time (40 cycles total,
+~264 ns) because row precharge cannot overlap a different bank's work.
+
+The stride probes of Figure 1 recover exactly these parameters:
+
+* strides >= 16 KB touch a new row on every access (+9 cycles);
+* a 64 KB stride revisits the same bank every time (40 cycles total).
+"""
+
+from __future__ import annotations
+
+from repro.params import DramParams
+
+__all__ = ["Dram"]
+
+
+class Dram:
+    """Stateful latency model of one node's DRAM.
+
+    The model tracks, per bank, which row is open, plus which bank the
+    previous access used.  It is purely a timing model; data storage
+    lives in :class:`repro.machine.node.NodeMemory`.
+    """
+
+    def __init__(self, params: DramParams):
+        self.params = params
+        self._open_row: list[int] = [-1] * params.banks
+        self._last_bank: int = -1
+        # Counters for tests and the gray-box analyzer's ground truth.
+        self.accesses = 0
+        self.row_misses = 0
+        self.same_bank_conflicts = 0
+
+    def reset(self) -> None:
+        """Forget all open rows and history (e.g. between probe runs)."""
+        self._open_row = [-1] * self.params.banks
+        self._last_bank = -1
+        self.accesses = 0
+        self.row_misses = 0
+        self.same_bank_conflicts = 0
+
+    def bank_of(self, addr: int) -> int:
+        """Bank index for a physical address (16 KB interleave)."""
+        return (addr // self.params.bank_interleave_bytes) % self.params.banks
+
+    def within_bank_offset(self, addr: int) -> int:
+        """Compact within-bank offset of an address.
+
+        With interleave ``I`` and ``B`` banks, consecutive ``I``-byte
+        blocks round-robin over banks, so block ``k`` is the
+        ``k // B``-th block of its bank.
+        """
+        p = self.params
+        block = addr // p.bank_interleave_bytes
+        return (block // p.banks) * p.bank_interleave_bytes + (
+            addr % p.bank_interleave_bytes
+        )
+
+    def row_of(self, addr: int) -> int:
+        """DRAM row index an address maps to within its bank."""
+        return self.within_bank_offset(addr) // self.params.page_bytes
+
+    def access(self, addr: int) -> float:
+        """Perform one access; return its latency in cycles.
+
+        The latency is the full memory access time plus the off-page
+        penalty when the bank's open row changes, plus the same-bank
+        penalty when the row change happens on the bank used by the
+        immediately preceding access.
+        """
+        p = self.params
+        return self.access_with(addr, p.off_page_cycles, p.same_bank_cycles)
+
+    def access_with(self, addr: int, off_page_cycles: float,
+                    same_bank_cycles: float) -> float:
+        """Access with caller-supplied penalties.
+
+        The remote-access path uses this: the paper measures a larger
+        off-page penalty through the remote memory controller (~15
+        cycles, section 4.2) than locally (~9 cycles, section 2.2).
+        """
+        p = self.params
+        bank = self.bank_of(addr)
+        row = self.row_of(addr)
+        cycles = p.access_cycles
+        self.accesses += 1
+        if self._open_row[bank] != row:
+            self.row_misses += 1
+            cycles += off_page_cycles
+            if bank == self._last_bank:
+                self.same_bank_conflicts += 1
+                cycles += same_bank_cycles
+            self._open_row[bank] = row
+        self._last_bank = bank
+        return cycles
+
+    def peek_access_cycles(self, addr: int) -> float:
+        """Latency the next access to ``addr`` would cost, without
+        changing any state.  Used by drain schedulers that need a cost
+        estimate before committing."""
+        p = self.params
+        return self.peek_access_with(addr, p.off_page_cycles,
+                                     p.same_bank_cycles)
+
+    def peek_access_with(self, addr: int, off_page_cycles: float,
+                         same_bank_cycles: float) -> float:
+        """Non-mutating :meth:`access_with`: the cost the next access
+        would pay under caller-supplied penalties."""
+        p = self.params
+        bank = self.bank_of(addr)
+        row = self.row_of(addr)
+        cycles = p.access_cycles
+        if self._open_row[bank] != row:
+            cycles += off_page_cycles
+            if bank == self._last_bank:
+                cycles += same_bank_cycles
+        return cycles

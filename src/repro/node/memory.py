@@ -1,0 +1,46 @@
+"""Functional backing store for one node's local memory.
+
+Word-granularity (8-byte) storage, sparse, holding arbitrary Python
+values (ints for probe patterns, floats for EM3D fields).  Sub-word
+accesses are composed from word accesses plus the Alpha byte-
+manipulation helpers — there are no byte stores, which is what makes
+the byte-write race of section 4.5 reproducible at the machine layer.
+"""
+
+from __future__ import annotations
+
+from repro.params import WORD_BYTES
+
+__all__ = ["WordMemory"]
+
+
+class WordMemory:
+    """Sparse word-addressed memory; unwritten words read as 0."""
+
+    def __init__(self):
+        self._words: dict[int, object] = {}
+
+    def word_addr(self, addr: int) -> int:
+        return addr - (addr % WORD_BYTES)
+
+    def load(self, addr: int):
+        """Load the 8-byte word containing ``addr``."""
+        return self._words.get(self.word_addr(addr), 0)
+
+    def store(self, addr: int, value) -> None:
+        """Store ``value`` into the 8-byte word containing ``addr``."""
+        self._words[self.word_addr(addr)] = value
+
+    def load_range(self, addr: int, nwords: int) -> list:
+        """Load ``nwords`` consecutive words starting at ``addr``."""
+        base = self.word_addr(addr)
+        return [self._words.get(base + i * WORD_BYTES, 0) for i in range(nwords)]
+
+    def store_range(self, addr: int, values) -> None:
+        """Store consecutive words starting at ``addr``."""
+        base = self.word_addr(addr)
+        for i, value in enumerate(values):
+            self._words[base + i * WORD_BYTES] = value
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,163 @@
+"""Model of the Alpha 21064 write buffer.
+
+The 21064 cache is write-through, so every store heads to memory via a
+small write buffer.  The paper's write probes (section 2.3, Figure 2)
+observe two behaviours this model reproduces:
+
+* **Write merging** — consecutive stores to the same 32-byte line merge
+  into one buffer entry, so dense stores cost only the ~3-cycle issue
+  time (~20 ns).
+* **Pipelined drain** — with the buffer full, non-merged stores proceed
+  at the memory system's pipelined throughput.  The paper infers the
+  depth from 145 ns / 35 ns ~= 4 entries: four entries keep four
+  accesses in flight, giving an initiation interval of
+  ``drain_cost / depth`` per entry.
+
+The buffer also holds the *data* of pending stores, which is what makes
+the write-buffer hazards of the paper reproducible:
+
+* a read to the **same word** is forwarded the pending value;
+* a read to a **synonym** (different physical address, same actual
+  location, via a second Annex register — section 3.4) finds no match,
+  bypasses the buffer, and reads a stale value from memory;
+* the global/local consistency violation of section 4.5 (a local read
+  overtaking a buffered local write as observed by another processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import WriteBufferParams
+
+__all__ = ["WriteBuffer", "PendingWrite"]
+
+
+@dataclass
+class PendingWrite:
+    """One write-buffer entry: a line with the words merged into it."""
+
+    line_addr: int
+    enqueue_time: float
+    retire_time: float
+    words: dict[int, object] = field(default_factory=dict)
+    #: When False the entry's words are not committed through the
+    #: buffer's ``apply`` on retirement — used for remote stores, whose
+    #: retirement hands the packet to the shell instead.
+    apply_words: bool = True
+    #: Called as ``on_retire(entry)`` when the entry drains; remote
+    #: stores use this to inject their packet with the retire timestamp.
+    on_retire: object = None
+
+
+class WriteBuffer:
+    """Write buffer with merging, bounded occupancy, and timed drain.
+
+    The owner supplies an ``apply`` callable invoked as
+    ``apply(word_addr, value)`` when an entry retires; for the local
+    memory system this commits the value to backing memory.  Values stay
+    invisible to memory until retirement — that delay *is* the hazard
+    window the paper describes.
+    """
+
+    def __init__(self, params: WriteBufferParams, apply=None,
+                 line_bytes: int = 32):
+        self.params = params
+        self.line_bytes = line_bytes
+        self._apply = apply or (lambda addr, value: None)
+        self._pending: list[PendingWrite] = []
+        self._last_retire: float = 0.0
+        self.merged_writes = 0
+        self.drained_entries = 0
+
+    def reset(self) -> None:
+        self._pending = []
+        self._last_retire = 0.0
+        self.merged_writes = 0
+        self.drained_entries = 0
+
+    def _line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def occupancy(self, now: float) -> int:
+        """Entries still in flight at time ``now``."""
+        self.flush_retired(now)
+        return len(self._pending)
+
+    def flush_retired(self, now: float) -> None:
+        """Commit every entry whose drain completed by ``now``."""
+        still = []
+        for entry in self._pending:
+            if entry.retire_time <= now:
+                if entry.apply_words:
+                    for addr, value in entry.words.items():
+                        self._apply(addr, value)
+                if entry.on_retire is not None:
+                    entry.on_retire(entry)
+                self.drained_entries += 1
+            else:
+                still.append(entry)
+        self._pending = still
+
+    def push(self, now: float, addr: int, value, drain_cost: float,
+             apply_words: bool = True, on_retire=None) -> float:
+        """Issue a store at time ``now``; return the CPU cycles charged.
+
+        ``drain_cost`` is the full drain time for this line's entry:
+        the DRAM access for local stores, the chip-boundary handoff +
+        packet injection for remote ones.  Merging stores ride an
+        existing entry for free; otherwise the entry's retirement is
+        scheduled behind earlier entries at the pipelined initiation
+        interval (``drain_cost / depth``), and the CPU stalls only if
+        all ``params.entries`` slots are occupied.
+        """
+        self.flush_retired(now)
+        cycles = self.params.issue_cycles
+        line = self._line_addr(addr)
+
+        if self.params.merging:
+            for entry in self._pending:
+                if entry.line_addr == line:
+                    entry.words[addr] = value
+                    self.merged_writes += 1
+                    return cycles
+
+        stall = 0.0
+        if len(self._pending) >= self.params.entries:
+            # Stall until the oldest entry retires and commits.
+            oldest = min(self._pending, key=lambda e: e.retire_time)
+            stall = max(0.0, oldest.retire_time - now)
+            self.flush_retired(now + stall)
+
+        start = now + stall
+        interval = drain_cost / self.params.entries
+        retire = max(start, self._last_retire) + interval
+        self._last_retire = retire
+        self._pending.append(
+            PendingWrite(line_addr=line, enqueue_time=start, retire_time=retire,
+                         words={addr: value}, apply_words=apply_words,
+                         on_retire=on_retire)
+        )
+        return cycles + stall
+
+    def find_word(self, now: float, addr: int):
+        """Forwarding check: return ``(True, value)`` if a pending store
+        to exactly ``addr`` exists at ``now``, else ``(False, None)``.
+
+        Note the deliberate exact-address match: a synonym address is
+        *not* found, reproducing the stale-read hazard of section 3.4.
+        """
+        self.flush_retired(now)
+        for entry in reversed(self._pending):
+            if addr in entry.words:
+                return True, entry.words[addr]
+        return False, None
+
+    def drain_all(self, now: float) -> float:
+        """Memory-barrier semantics: return the time at which every
+        pending entry has retired (and commit them)."""
+        done = now
+        for entry in self._pending:
+            done = max(done, entry.retire_time)
+        self.flush_retired(done)
+        return done

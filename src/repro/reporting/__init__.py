@@ -1,0 +1,11 @@
+"""Reproduction reporting: run every experiment and emit the
+paper-vs-measured record (EXPERIMENTS.md is generated from here)."""
+
+from repro.reporting.experiments import (
+    Experiment,
+    all_experiments,
+    generate_markdown,
+    run_all,
+)
+
+__all__ = ["Experiment", "all_experiments", "generate_markdown", "run_all"]

@@ -1,0 +1,151 @@
+"""Figure data series: the actual curves, exportable as CSV.
+
+The benchmarks assert the *shape* of each figure; this module emits
+the underlying series so a user can plot them (the reproduction's
+version of the paper's figures).  Each generator returns a list of
+dict rows with stable keys; :func:`to_csv` renders any of them.
+
+Available series (and the paper figure they regenerate):
+
+=============  ====================================================
+``fig1``       local read latency vs stride, per array size, both
+               machines
+``fig2``       local write latency vs stride, per array size
+``fig4``       remote read latency (uncached / cached / splitc)
+``fig5``       acknowledged remote write latency (raw / splitc)
+``fig6``       prefetch per-element cost vs group size
+``fig7``       non-blocking store latency (raw / splitc put)
+``fig8``       bulk bandwidth vs size, reads and writes
+``fig9``       EM3D us/edge vs remote fraction, per version
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.microbench import probes
+from repro.microbench.harness import default_sizes
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+
+KB = 1024
+
+__all__ = ["SERIES", "generate_series", "to_csv"]
+
+
+def _curve_rows(curves, machine: str, op: str):
+    return [
+        {"machine": machine, "op": op, "size_bytes": p.size,
+         "stride_bytes": p.stride, "avg_cycles": round(p.avg_cycles, 3),
+         "avg_ns": round(p.avg_ns, 2)}
+        for p in sorted(curves.points, key=lambda p: (p.size, p.stride))
+    ]
+
+
+def fig1(quick: bool = False):
+    hi = 256 * KB if quick else 1024 * KB
+    rows = _curve_rows(probes.local_read_probe(
+        t3d_memory_system(), sizes=default_sizes(hi=hi)), "t3d", "read")
+    ws_hi = 1024 * KB if quick else 2048 * KB
+    rows += _curve_rows(probes.local_read_probe(
+        workstation_memory_system(), sizes=default_sizes(hi=ws_hi),
+        min_footprint=ws_hi), "workstation", "read")
+    return rows
+
+
+def fig2(quick: bool = False):
+    hi = 128 * KB if quick else 512 * KB
+    return _curve_rows(probes.local_write_probe(
+        t3d_memory_system(), sizes=default_sizes(hi=hi)), "t3d", "write")
+
+
+def _remote_series(probe, mechanisms, quick):
+    sizes = [64 * KB] if quick else [16 * KB, 64 * KB, 256 * KB]
+    rows = []
+    for mech in mechanisms:
+        rows += _curve_rows(probe(mechanism=mech, sizes=sizes),
+                            "t3d", mech)
+    return rows
+
+
+def fig4(quick: bool = False):
+    return _remote_series(probes.remote_read_probe,
+                          ("uncached", "cached", "splitc"), quick)
+
+
+def fig5(quick: bool = False):
+    return _remote_series(probes.remote_write_probe,
+                          ("blocking", "splitc"), quick)
+
+
+def fig6(quick: bool = False):
+    groups = [1, 2, 4, 8, 16]
+    rows = []
+    for name, probe in (("prefetch", probes.prefetch_group_probe),
+                        ("splitc_get", probes.splitc_get_group_probe)):
+        for cost in probe(groups=groups):
+            rows.append({"mechanism": name, "group": cost.group,
+                         "cycles_per_element":
+                             round(cost.cycles_per_element, 2),
+                         "ns_per_element":
+                             round(cost.ns_per_element, 1)})
+    return rows
+
+
+def fig7(quick: bool = False):
+    return _remote_series(probes.nonblocking_write_probe,
+                          ("store", "splitc"), quick)
+
+
+def fig8(quick: bool = False):
+    sizes = ([8, 128, 2 * KB, 32 * KB] if quick else
+             [8, 32, 128, 512, 2 * KB, 8 * KB, 32 * KB, 128 * KB])
+    rows = [
+        {"direction": "read", "mechanism": p.mechanism,
+         "size_bytes": p.nbytes, "mb_per_s": round(p.mb_per_s, 2)}
+        for p in probes.bulk_read_bandwidth_probe(sizes)
+    ]
+    rows += [
+        {"direction": "write", "mechanism": p.mechanism,
+         "size_bytes": p.nbytes, "mb_per_s": round(p.mb_per_s, 2)}
+        for p in probes.bulk_write_bandwidth_probe(sizes[1:])
+    ]
+    return rows
+
+
+def fig9(quick: bool = False):
+    from repro.apps.em3d.driver import sweep
+    nodes, degree = (60, 5) if quick else (200, 10)
+    return [
+        {"version": p.version,
+         "remote_fraction": round(p.realized_fraction, 3),
+         "us_per_edge": round(p.us_per_edge, 4)}
+        for p in sweep(fractions=(0.0, 0.1, 0.2, 0.35, 0.5),
+                       nodes_per_pe=nodes, degree=degree)
+    ]
+
+
+SERIES = {
+    "fig1": fig1, "fig2": fig2, "fig4": fig4, "fig5": fig5,
+    "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9,
+}
+
+
+def generate_series(name: str, quick: bool = False):
+    """Rows for one figure's data series."""
+    if name not in SERIES:
+        raise ValueError(
+            f"unknown series {name!r}; choose from {sorted(SERIES)}")
+    return SERIES[name](quick)
+
+
+def to_csv(rows) -> str:
+    """Render rows (list of homogeneous dicts) as CSV text."""
+    if not rows:
+        return ""
+    out = io.StringIO()
+    keys = list(rows[0])
+    out.write(",".join(keys) + "\n")
+    for row in rows:
+        out.write(",".join(str(row[k]) for k in keys) + "\n")
+    return out.getvalue()

@@ -1,0 +1,43 @@
+"""Models of the T3D shell: the support circuitry Cray wrapped around
+the Alpha 21064 (paper sections 1.2, 3-7).
+
+One instance of each unit exists per node:
+
+* :class:`~repro.shell.annex.DtbAnnex` — the 32 external segment
+  registers that extend the 21064's small physical address space.
+* :class:`~repro.shell.remote.RemoteAccessUnit` — cached/uncached
+  remote reads, acknowledged and non-blocking remote writes, and the
+  shell status register.
+* :class:`~repro.shell.prefetch.PrefetchQueue` — the 16-entry binding
+  prefetch FIFO behind the Alpha ``fetch`` hint.
+* :class:`~repro.shell.blt.BlockTransferEngine` — the system-level DMA
+  engine with its 180 microsecond OS-invocation start-up.
+* :class:`~repro.shell.atomics.AtomicUnit` — fetch&increment registers
+  and atomic swap.
+* :class:`~repro.shell.barrier.HardwareBarrier` — the global-OR fuzzy
+  barrier (one shared tree per machine).
+* :class:`~repro.shell.msgqueue.MessageUnit` — the user-level message
+  send FIFO with interrupt-driven receive.
+"""
+
+from repro.shell.annex import AnnexEntry, DtbAnnex, ReadMode
+from repro.shell.atomics import AtomicUnit
+from repro.shell.barrier import HardwareBarrier
+from repro.shell.blt import BlockTransferEngine, BltTransfer
+from repro.shell.msgqueue import Message, MessageUnit
+from repro.shell.prefetch import PrefetchQueue
+from repro.shell.remote import RemoteAccessUnit
+
+__all__ = [
+    "AnnexEntry",
+    "AtomicUnit",
+    "BlockTransferEngine",
+    "BltTransfer",
+    "DtbAnnex",
+    "HardwareBarrier",
+    "Message",
+    "MessageUnit",
+    "PrefetchQueue",
+    "ReadMode",
+    "RemoteAccessUnit",
+]

@@ -1,0 +1,104 @@
+"""Fetch&increment registers and atomic swap (paper section 7.4).
+
+Each node's shell provides two fetch&increment registers and an
+atomic-swap primitive between a shell register and memory.  A remote
+fetch&increment costs about a remote read (~1 microsecond); these are
+the building blocks for the N-to-1 message queues that replace the
+ruinously expensive interrupt-driven hardware messages, and for a
+correct multi-processor byte write (section 4.5).
+"""
+
+from __future__ import annotations
+
+from repro.params import AtomicParams, LOCAL_ADDR_MASK
+
+__all__ = ["AtomicUnit"]
+
+
+class AtomicUnit:
+    """Per-node shell atomic state: its fetch&increment registers."""
+
+    def __init__(self, params: AtomicParams, my_pe: int, fabric):
+        self.params = params
+        self.my_pe = my_pe
+        self.fabric = fabric
+        self._registers = [0] * params.registers_per_node
+        # Virtual-time serialization per register / per memory word:
+        # the shell register is the serialization point, so a request
+        # issued at an earlier virtual time than the previous
+        # operation's completion waits for it.  This keeps observed
+        # values consistent with virtual time (lock intervals never
+        # overlap) and models contention at the register.
+        self._busy_until: dict = {}
+        self.operations = 0
+
+    def reset(self) -> None:
+        self._registers = [0] * self.params.registers_per_node
+        self._busy_until = {}
+        self.operations = 0
+
+    def _serialize(self, key, now: float, op_cycles: float) -> float:
+        """Total requester-visible cycles for an op on ``key`` issued
+        at ``now``: base cost plus any wait behind the previous op."""
+        start = max(now, self._busy_until.get(key, 0.0))
+        self._busy_until[key] = start + op_cycles
+        return (start - now) + op_cycles
+
+    def _check_register(self, reg: int) -> None:
+        if not 0 <= reg < self.params.registers_per_node:
+            raise ValueError(
+                f"fetch&inc register {reg} outside "
+                f"[0, {self.params.registers_per_node})"
+            )
+
+    def register_value(self, reg: int) -> int:
+        self._check_register(reg)
+        return self._registers[reg]
+
+    def set_register(self, reg: int, value: int) -> None:
+        """Initialize a register (queue setup; cost charged by caller).
+
+        Re-initialization also clears the register's serialization
+        history: a freshly set-up queue owes nothing to operations from
+        before its creation.
+        """
+        self._check_register(reg)
+        self._registers[reg] = value
+        self._busy_until.pop(("reg", reg), None)
+
+    def fetch_increment(self, now: float, target_pe: int, reg: int,
+                        amount: int = 1):
+        """Atomically read-and-increment a fetch&increment register on
+        ``target_pe``; returns (cycles, old value).
+
+        Atomicity is exact in the model: the read-modify-write is a
+        single Python operation on the target's register, so concurrent
+        requesters always obtain distinct tickets — the property the
+        paper's queue construction relies on.
+        """
+        target_unit = self.fabric.node(target_pe).atomics
+        target_unit._check_register(reg)
+        target_unit.operations += 1
+        old = target_unit._registers[reg]
+        target_unit._registers[reg] = old + amount
+        base = (
+            self.params.local_cycles if target_pe == self.my_pe
+            else self.params.remote_cycles
+        )
+        cycles = target_unit._serialize(("reg", reg), now, base)
+        return cycles, old
+
+    def atomic_swap(self, now: float, target_pe: int, offset: int, value):
+        """Atomically exchange ``value`` with the memory word at
+        ``offset`` on ``target_pe``; returns (cycles, old value)."""
+        target = self.fabric.node(target_pe)
+        local = offset & LOCAL_ADDR_MASK
+        old = target.memsys.memory.load(local)
+        target.memsys.memory.store(local, value)
+        target.memsys.l1.invalidate(local)
+        base = (
+            self.params.local_cycles if target_pe == self.my_pe
+            else self.params.swap_remote_cycles
+        )
+        cycles = target.atomics._serialize(("mem", local), now, base)
+        return cycles, old

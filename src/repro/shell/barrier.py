@@ -1,0 +1,94 @@
+"""The global-OR/AND hardware fuzzy barrier (paper section 7.5).
+
+The T3D provides a dedicated wired tree for barriers.  The "fuzzy"
+protocol separates the *start-barrier* (announce arrival) from the
+*end-barrier* (reset the tree for reuse), allowing useful work between
+them; the paper's Split-C barrier exploits this to poll the message
+queue and retire outstanding stores while waiting.
+
+One :class:`HardwareBarrier` is shared by all nodes of a machine.  The
+barrier is epoch-numbered: each processor's n-th start-barrier joins
+epoch n.  The tree output for an epoch settles ``propagate_cycles``
+after the last arrival.
+"""
+
+from __future__ import annotations
+
+from repro.params import BarrierParams
+
+__all__ = ["HardwareBarrier"]
+
+
+class HardwareBarrier:
+    """Machine-wide barrier tree with per-epoch arrival bookkeeping."""
+
+    def __init__(self, params: BarrierParams, num_pes: int):
+        if num_pes < 1:
+            raise ValueError("a machine has at least one processor")
+        self.params = params
+        self.num_pes = num_pes
+        self._arrivals: dict[int, dict[int, float]] = {}
+        self._ended: dict[int, set[int]] = {}
+        self._epoch_of_pe = [0] * num_pes
+        self.barriers_completed = 0
+
+    def reset(self) -> None:
+        self._arrivals = {}
+        self._ended = {}
+        self._epoch_of_pe = [0] * self.num_pes
+        self.barriers_completed = 0
+
+    def start(self, pe: int, now: float) -> tuple[float, int]:
+        """Processor ``pe`` executes start-barrier at ``now``.
+
+        Returns ``(cycles_for_the_start_instruction, epoch_joined)``.
+        """
+        self._check_pe(pe)
+        epoch = self._epoch_of_pe[pe]
+        self._epoch_of_pe[pe] += 1
+        arrivals = self._arrivals.setdefault(epoch, {})
+        if pe in arrivals:
+            raise RuntimeError(f"pe {pe} started epoch {epoch} twice")
+        arrivals[pe] = now + self.params.start_cycles
+        return self.params.start_cycles, epoch
+
+    def all_arrived(self, epoch: int) -> bool:
+        """Whether every processor has started this epoch's barrier."""
+        return len(self._arrivals.get(epoch, {})) == self.num_pes
+
+    def settle_time(self, epoch: int) -> float:
+        """Time at which the tree output settles for an epoch.
+
+        Only meaningful once :meth:`all_arrived`; the wired OR settles
+        a propagation delay after the last arrival.
+        """
+        arrivals = self._arrivals.get(epoch, {})
+        if len(arrivals) < self.num_pes:
+            raise RuntimeError(f"epoch {epoch} not fully arrived")
+        return max(arrivals.values()) + self.params.propagate_cycles
+
+    def wait(self, pe: int, epoch: int, now: float) -> float:
+        """Poll the tree until the epoch settles; returns exit time."""
+        settle = self.settle_time(epoch)
+        exit_time = max(now, settle) + self.params.poll_cycles
+        return exit_time
+
+    def end(self, pe: int, epoch: int, now: float) -> float:
+        """End-barrier: reset the tree bit for reuse; returns its cost.
+
+        Arrival records stay intact until every processor has ended the
+        epoch — a fast processor ending early must not make the tree
+        look unsettled to the ones still waiting.
+        """
+        self._check_pe(pe)
+        ended = self._ended.setdefault(epoch, set())
+        ended.add(pe)
+        if len(ended) == self.num_pes:
+            self._arrivals.pop(epoch, None)
+            self._ended.pop(epoch, None)
+            self.barriers_completed += 1
+        return self.params.end_cycles
+
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.num_pes:
+            raise ValueError(f"pe {pe} outside machine of {self.num_pes}")

@@ -1,0 +1,98 @@
+"""The user-level hardware message queue (paper section 7.3).
+
+Sending is cheap: a four-word message is composed and a PAL call
+injects it atomically as a cache-line-sized transfer (~122 cycles,
+813 ns).  Receiving is ruinous: the arrival interrupts the processor
+(~25 microseconds of OS time) and optionally dispatches to a user
+handler (another ~33 microseconds).  These measured costs are why the
+paper abandons the hardware path and rebuilds messaging from
+fetch&increment + stores (section 7.4, :mod:`repro.splitc.am`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import MessageQueueParams, NetworkParams
+
+__all__ = ["Message", "MessageUnit"]
+
+
+@dataclass
+class Message:
+    """One hardware message in flight or queued at the receiver."""
+
+    src_pe: int
+    payload: tuple
+    arrival_time: float
+    #: Set by the receiver when the interrupt has been taken.
+    interrupt_charged: bool = field(default=False, repr=False)
+
+
+class MessageUnit:
+    """Per-node message send FIFO and receive queue."""
+
+    def __init__(self, params: MessageQueueParams, network: NetworkParams,
+                 my_pe: int, fabric):
+        self.params = params
+        self.network = network
+        self.my_pe = my_pe
+        self.fabric = fabric
+        self._inbox: list[Message] = []
+        self.sends = 0
+        self.interrupts_taken = 0
+
+    def reset(self) -> None:
+        self._inbox = []
+        self.sends = 0
+        self.interrupts_taken = 0
+
+    def send(self, now: float, dst_pe: int, payload) -> float:
+        """PAL-mediated message injection; returns the ~122-cycle cost.
+
+        The payload is truncated/validated to the hardware's four
+        words.  Arrival is the send completion plus network flight.
+        """
+        payload = tuple(payload)
+        if len(payload) > self.params.words_per_message:
+            raise ValueError(
+                f"hardware messages carry at most "
+                f"{self.params.words_per_message} words"
+            )
+        self.sends += 1
+        hops = self.fabric.hops(self.my_pe, dst_pe)
+        arrival = now + self.params.send_cycles + hops * self.network.hop_cycles
+        self.fabric.node(dst_pe).msgq._inbox.append(
+            Message(src_pe=self.my_pe, payload=payload, arrival_time=arrival)
+        )
+        return self.params.send_cycles
+
+    def message_available(self, now: float) -> bool:
+        """Whether a message has arrived by ``now``."""
+        return any(m.arrival_time <= now for m in self._inbox)
+
+    def earliest_arrival(self) -> float | None:
+        """Arrival time of the next message, or None if inbox is empty."""
+        if not self._inbox:
+            return None
+        return min(m.arrival_time for m in self._inbox)
+
+    def receive(self, now: float, via_handler: bool = False):
+        """Take delivery of the oldest arrived message.
+
+        Returns ``(cycles, message)``.  The cycles include the
+        interrupt cost (the OS fielded the arrival) and, if
+        ``via_handler``, the switch into a user-level message handler.
+        Raises if no message has arrived — callers use
+        :meth:`message_available` / the SPMD blocking condition first.
+        """
+        arrived = [m for m in self._inbox if m.arrival_time <= now]
+        if not arrived:
+            raise RuntimeError("receive with no arrived message")
+        msg = min(arrived, key=lambda m: m.arrival_time)
+        self._inbox.remove(msg)
+        self.interrupts_taken += 1
+        cycles = self.params.interrupt_cycles
+        if via_handler:
+            cycles += self.params.handler_switch_cycles
+        return cycles, msg

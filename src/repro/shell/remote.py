@@ -1,0 +1,255 @@
+"""Remote reads and writes through the shell (paper sections 4, 5.3).
+
+The unit models the four data-movement flavors the shell gives a
+single node:
+
+* **Uncached remote read** — fetches one word from the target node's
+  DRAM; ~91 cycles to an adjacent node.
+* **Cached remote read** — fetches a whole 32-byte line and installs it
+  in the local L1; ~114 cycles, after which local hits cost 1 cycle.
+  The hardware keeps **no coherence**: the installed line is a snapshot
+  and goes stale if the owner writes (section 4.4).
+* **Non-blocking remote write** — the store drains through the write
+  buffer to the shell (~17 cycles each in steady state, Figure 7) and
+  is acknowledged by the target; the shell status register counts
+  outstanding acknowledgements.
+* **Acknowledged (blocking) write** — store + memory barrier + status
+  polling; ~130 cycles (section 4.3), including the subtlety that the
+  status bit is *clear while the write is still in the write buffer*,
+  so polling without a barrier reports completion prematurely.
+
+The unit reaches other nodes through a ``fabric`` object (implemented
+by :class:`repro.machine.machine.Machine`) providing ``hops(src, dst)``,
+``node(pe)`` and ``notify_store_arrival(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import (
+    LOCAL_ADDR_MASK,
+    NetworkParams,
+    RemoteAccessParams,
+    WORD_BYTES,
+)
+
+__all__ = ["AckRecord", "RemoteAccessUnit"]
+
+
+@dataclass
+class AckRecord:
+    """An in-flight remote-write acknowledgement."""
+
+    drain_time: float   # when the store left the write buffer
+    ack_time: float     # when the acknowledgement clears the status bit
+    nbytes: int
+
+
+class RemoteAccessUnit:
+    """Per-node remote load/store engine."""
+
+    def __init__(self, params: RemoteAccessParams, network: NetworkParams,
+                 my_pe: int, memsys, fabric):
+        self.params = params
+        self.network = network
+        self.my_pe = my_pe
+        self.memsys = memsys
+        self.fabric = fabric
+        self._acks: list[AckRecord] = []
+        #: Data snapshots for remotely-fetched cache lines, keyed by the
+        #: full (annex-bearing) line address.  Snapshot staleness *is*
+        #: the non-coherence of cached remote reads.
+        self._line_snapshots: dict[int, dict[int, object]] = {}
+        self.reads = 0
+        self.cached_reads = 0
+        self.stores = 0
+
+    def reset(self) -> None:
+        self._acks = []
+        self._line_snapshots = {}
+        self.reads = 0
+        self.cached_reads = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _flight(self, pe: int) -> float:
+        return self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles
+
+    def _target_memory_cycles(self, pe: int, offset: int) -> float:
+        """A remote memory-controller access at the target node.
+
+        The off-page penalty through the remote controller is larger
+        than the local one (~15 vs ~9 cycles, section 4.2).
+        """
+        target = self.fabric.node(pe)
+        return target.memsys.dram.access_with(
+            self.memsys.local_addr(offset),
+            self.params.remote_off_page_cycles,
+            target.memsys.params.dram.same_bank_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def uncached_read(self, now: float, pe: int, offset: int):
+        """Fetch one word from a remote node; returns (cycles, value)."""
+        self.reads += 1
+        cycles = (
+            self.params.read_overhead_cycles
+            + 2 * self._flight(pe)
+            + self._target_memory_cycles(pe, offset)
+        )
+        value = self.fabric.node(pe).memsys.memory.load(offset & LOCAL_ADDR_MASK)
+        return cycles, value
+
+    def cached_read(self, now: float, pe: int, offset: int, full_addr: int):
+        """Read via a cached remote access; returns (cycles, value).
+
+        A local hit on a previously-fetched line costs one cycle and
+        returns the *snapshot* value — stale if the owner has written
+        since (the section 4.4 coherence pitfall).  A miss fetches the
+        whole line (+23 cycles over an uncached read) and installs it.
+        """
+        l1 = self.memsys.l1
+        if l1.lookup(full_addr):
+            snapshot = self._line_snapshots.get(l1.line_addr(full_addr))
+            word = full_addr - (full_addr % WORD_BYTES)
+            if snapshot is not None and word in snapshot:
+                return self.memsys.params.l1.hit_cycles, snapshot[word]
+            # Locally-owned or snapshot-less line: fall back to memory.
+            return self.memsys.params.l1.hit_cycles, self.fabric.node(
+                pe).memsys.memory.load(offset & LOCAL_ADDR_MASK)
+
+        self.cached_reads += 1
+        cycles = (
+            self.params.read_overhead_cycles
+            + self.params.cached_line_extra_cycles
+            + 2 * self._flight(pe)
+            + self._target_memory_cycles(pe, offset)
+        )
+        target_mem = self.fabric.node(pe).memsys.memory
+        line_full = l1.line_addr(full_addr)
+        line_local = line_full & LOCAL_ADDR_MASK
+        snapshot = {
+            line_full + i * WORD_BYTES: target_mem.load(line_local + i * WORD_BYTES)
+            for i in range(self.memsys.params.l1.line_bytes // WORD_BYTES)
+        }
+        evicted = l1.fill(full_addr)
+        if evicted is not None:
+            self._line_snapshots.pop(evicted, None)
+        self._line_snapshots[line_full] = snapshot
+        word = full_addr - (full_addr % WORD_BYTES)
+        return cycles, snapshot[word]
+
+    def invalidate_cached_line(self, full_addr: int) -> float:
+        """Coherence flush of a remotely-fetched line (23 cycles)."""
+        self._line_snapshots.pop(self.memsys.l1.line_addr(full_addr), None)
+        return self.memsys.invalidate_line(full_addr)
+
+    def flush_all_cached(self) -> float:
+        """Whole-cache flush; drops every snapshot (section 6.2 note 3)."""
+        self._line_snapshots.clear()
+        return self.memsys.flush_all_lines()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def store(self, now: float, pe: int, offset: int, value,
+              full_addr: int) -> float:
+        """Non-blocking remote store; returns the CPU cycles charged.
+
+        The store enters the node's write buffer (merging with an open
+        entry for the same line) and, on drain, becomes a packet whose
+        arrival writes the target memory, invalidates the target's
+        cached copy (cache-invalidate mode, section 4.4), and sends an
+        acknowledgement back toward the status register.
+        """
+        self.stores += 1
+        # The drain rate feels the target memory controller: a store
+        # stream that misses the remote DRAM page on every line (16 KB
+        # strides) backs the pipeline up — Figure 7's inflection.
+        target = self.fabric.node(pe)
+        drain = self.params.store_drain_cycles + (
+            target.memsys.dram.peek_access_with(
+                self.memsys.local_addr(offset),
+                self.params.remote_off_page_cycles,
+                target.memsys.params.dram.same_bank_cycles,
+            ) - target.memsys.params.dram.access_cycles
+        )
+
+        def on_retire(entry, _pe=pe):
+            flight = self._flight(_pe)
+            target = self.fabric.node(_pe)
+            # Target-interface serialization: one sender's stream never
+            # queues (service rate = injection rate), but converging
+            # senders do — incast congestion.
+            arrival = max(entry.retire_time + flight,
+                          target.inbound_busy_until)
+            target.inbound_busy_until = (
+                arrival + self.params.target_service_cycles)
+            mem_cycles = self._target_memory_cycles(_pe, entry.line_addr)
+            nbytes = 0
+            for waddr, wvalue in entry.words.items():
+                local = waddr & LOCAL_ADDR_MASK
+                target.memsys.memory.store(local, wvalue)
+                target.memsys.l1.invalidate(local)
+                nbytes += WORD_BYTES
+            ack_time = (
+                arrival + mem_cycles + flight
+                + self.params.write_ack_overhead_cycles
+            )
+            self._acks.append(
+                AckRecord(drain_time=entry.retire_time, ack_time=ack_time,
+                          nbytes=nbytes)
+            )
+            self.fabric.notify_store_arrival(
+                src_pe=self.my_pe, dst_pe=_pe, nbytes=nbytes,
+                arrival_time=arrival + mem_cycles,
+                addr=entry.line_addr & LOCAL_ADDR_MASK,
+            )
+
+        return self.memsys.write_buffer.push(
+            now, full_addr, value, drain,
+            apply_words=False, on_retire=on_retire,
+        )
+
+    def outstanding(self, now: float) -> int:
+        """Remote writes the status register counts at time ``now``.
+
+        Only stores that have *left the write buffer* are visible;
+        stores still buffered are invisible — the section 4.3 hazard.
+        """
+        self.memsys.write_buffer.flush_retired(now)
+        self._acks = [a for a in self._acks if a.ack_time > now]
+        return sum(1 for a in self._acks if a.drain_time <= now)
+
+    def status_says_complete(self, now: float) -> bool:
+        """One status-register read: True if no writes appear pending."""
+        return self.outstanding(now) == 0
+
+    def wait_for_acks(self, now: float) -> float:
+        """Poll the status register until every acknowledged write has
+        completed; returns the completion time."""
+        self.memsys.write_buffer.flush_retired(now)
+        pending = [a.ack_time for a in self._acks if a.ack_time > now]
+        done = max(pending) if pending else now
+        self._acks = [a for a in self._acks if a.ack_time > done]
+        return done + self.params.status_poll_cycles
+
+    def blocking_write(self, now: float, pe: int, offset: int, value,
+                       full_addr: int) -> float:
+        """Acknowledged remote write (section 4.3); returns total cycles.
+
+        Store, then a memory barrier to force the write out of the
+        buffer (otherwise the status bit lies), then poll to the ack.
+        """
+        t = now + self.store(now, pe, offset, value, full_addr)
+        t = self.memsys.memory_barrier(t)
+        t = self.wait_for_acks(t)
+        return t - now

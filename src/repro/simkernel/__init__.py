@@ -1,0 +1,37 @@
+"""Conservative SPMD simulation kernel.
+
+Split-C programs are simulated as one generator per processor, each
+carrying its own virtual clock in 150 MHz cycles.  Non-blocking
+operations advance the clock in plain calls; potentially blocking
+operations (barriers, store_sync, message receive) ``yield`` a
+:class:`~repro.simkernel.conditions.Condition`, and the scheduler
+resumes the thread when the condition is satisfiable, advancing its
+clock to the satisfaction time.  Cross-processor effects (remote
+stores, messages, barrier arrivals) carry arrival timestamps, so the
+receiver's resume time is ``max(own clock, arrival)``.
+
+This is *conservative* in the Split-C sense: data races not ordered by
+language synchronization are undefined in Split-C (and on the real
+T3D), so the kernel only guarantees timing/value fidelity for accesses
+ordered by barriers, syncs, and store_syncs — exactly the guarantee
+the paper's programs rely on.
+"""
+
+from repro.simkernel.conditions import (
+    BarrierCondition,
+    BytesArrivedCondition,
+    Condition,
+    MessageCondition,
+    TimeCondition,
+)
+from repro.simkernel.scheduler import DeadlockError, SpmdScheduler
+
+__all__ = [
+    "BarrierCondition",
+    "BytesArrivedCondition",
+    "Condition",
+    "DeadlockError",
+    "MessageCondition",
+    "SpmdScheduler",
+    "TimeCondition",
+]

@@ -1,0 +1,90 @@
+"""Blocking conditions yielded by SPMD threads.
+
+A condition answers two questions: *is it satisfiable yet* given
+global simulation state (:meth:`Condition.ready`), and *at what time*
+does the blocked thread resume (:meth:`Condition.resume_time`).
+``ready`` may be False merely because other threads have not executed
+far enough in wall order; the scheduler then runs them first.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Condition",
+    "BarrierCondition",
+    "BytesArrivedCondition",
+    "MessageCondition",
+    "TimeCondition",
+]
+
+
+class Condition:
+    """Base class for blocking conditions."""
+
+    def ready(self) -> bool:
+        raise NotImplementedError
+
+    def resume_time(self, clock: float) -> float:
+        raise NotImplementedError
+
+
+class TimeCondition(Condition):
+    """Resume at an absolute simulated time (always satisfiable)."""
+
+    def __init__(self, time: float):
+        self.time = time
+
+    def ready(self) -> bool:
+        return True
+
+    def resume_time(self, clock: float) -> float:
+        return max(clock, self.time)
+
+
+class BarrierCondition(Condition):
+    """Wait for every processor to start a given barrier epoch."""
+
+    def __init__(self, barrier, pe: int, epoch: int):
+        self.barrier = barrier
+        self.pe = pe
+        self.epoch = epoch
+
+    def ready(self) -> bool:
+        return self.barrier.all_arrived(self.epoch)
+
+    def resume_time(self, clock: float) -> float:
+        return self.barrier.wait(self.pe, self.epoch, clock)
+
+
+class BytesArrivedCondition(Condition):
+    """Wait until a node has received a cumulative number of stored
+    bytes (the ``store_sync`` primitive, section 7.1), optionally
+    counting only stores landing in an address ``region`` — the
+    region-scoped extension used for per-phase completion counting."""
+
+    def __init__(self, node, target_bytes: int, region=None):
+        self.node = node
+        self.target_bytes = target_bytes
+        self.region = region
+
+    def ready(self) -> bool:
+        return self.node.bytes_arrived_total(self.region) >= self.target_bytes
+
+    def resume_time(self, clock: float) -> float:
+        when = self.node.time_when_bytes_arrived(self.target_bytes,
+                                                 self.region)
+        return max(clock, when)
+
+
+class MessageCondition(Condition):
+    """Wait for a hardware message to be present in the inbox."""
+
+    def __init__(self, msg_unit):
+        self.msg_unit = msg_unit
+
+    def ready(self) -> bool:
+        return self.msg_unit.earliest_arrival() is not None
+
+    def resume_time(self, clock: float) -> float:
+        arrival = self.msg_unit.earliest_arrival()
+        return max(clock, arrival)

@@ -1,0 +1,123 @@
+"""The conservative SPMD thread scheduler.
+
+Each processor's program is a Python generator; yielded values are
+:class:`~repro.simkernel.conditions.Condition` objects.  The scheduler
+repeatedly picks the runnable thread with the smallest local clock
+(min-clock order keeps cross-thread value observation causal for
+synchronized programs) and advances it to its next yield or return.
+
+When no thread is runnable the scheduler asks the machine to *settle* —
+commit write-buffer entries whose retire times have already been fixed
+— because a receiver may be waiting on bytes that are scheduled but not
+yet flushed.  If settling unblocks nothing, the program has deadlocked
+(e.g. mismatched barrier counts) and :class:`DeadlockError` is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simkernel.conditions import Condition
+
+__all__ = ["DeadlockError", "SpmdScheduler"]
+
+
+class DeadlockError(RuntimeError):
+    """All threads blocked on conditions that can never be satisfied."""
+
+
+@dataclass
+class _Thread:
+    pe: int
+    ctx: object
+    gen: object
+    condition: Condition | None = None
+    finished: bool = False
+    result: object = None
+
+
+class SpmdScheduler:
+    """Runs one generator program per processor to completion."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def run(self, contexts, program, *args, **kwargs):
+        """Run ``program(ctx, *args, **kwargs)`` on every context.
+
+        ``program`` must be a generator function (it may simply
+        ``return`` early without yielding — plain functions that never
+        block should be wrapped by the caller).  Returns the list of
+        per-processor return values, in processor order.
+        """
+        threads = []
+        for ctx in contexts:
+            gen = program(ctx, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    "SPMD programs must be generator functions "
+                    "(use 'yield from' for blocking operations)"
+                )
+            threads.append(_Thread(pe=ctx.pe, ctx=ctx, gen=gen))
+
+        while True:
+            unfinished = [t for t in threads if not t.finished]
+            if not unfinished:
+                break
+            runnable = self._runnable(unfinished)
+            if not runnable:
+                self.machine.settle()
+                runnable = self._runnable(unfinished)
+                if not runnable:
+                    blocked = "; ".join(
+                        f"pe{t.pe}@{t.ctx.clock:.0f}cy waiting on "
+                        f"{self._describe(t.condition)}"
+                        for t in unfinished)
+                    finished = [t.pe for t in threads if t.finished]
+                    hint = (f" (threads {finished} already finished — "
+                            "mismatched collective counts?)"
+                            if finished else "")
+                    raise DeadlockError(
+                        f"all threads blocked: {blocked}{hint}")
+            thread = min(runnable, key=lambda t: t.ctx.clock)
+            self._advance(thread)
+
+        return [t.result for t in threads]
+
+    def _runnable(self, threads):
+        return [
+            t for t in threads
+            if t.condition is None or t.condition.ready()
+        ]
+
+    @staticmethod
+    def _describe(condition) -> str:
+        name = type(condition).__name__
+        detail = ""
+        if hasattr(condition, "target_bytes"):
+            have = condition.node.bytes_arrived_total(
+                getattr(condition, "region", None))
+            detail = f" ({have}/{condition.target_bytes} bytes)"
+        elif hasattr(condition, "epoch"):
+            arrived = len(condition.barrier._arrivals.get(
+                condition.epoch, {}))
+            detail = (f" (epoch {condition.epoch}: {arrived}/"
+                      f"{condition.barrier.num_pes} arrived)")
+        return name + detail
+
+    def _advance(self, thread: _Thread) -> None:
+        if thread.condition is not None:
+            thread.ctx.clock = thread.condition.resume_time(thread.ctx.clock)
+            thread.condition = None
+        try:
+            yielded = next(thread.gen)
+        except StopIteration as stop:
+            thread.finished = True
+            thread.result = stop.value
+            return
+        if not isinstance(yielded, Condition):
+            raise TypeError(
+                f"SPMD thread {thread.pe} yielded {yielded!r}; "
+                "only Condition objects may be yielded"
+            )
+        thread.condition = yielded

@@ -1,0 +1,65 @@
+"""Split-C on the CRAY-T3D: the paper's core contribution.
+
+This package is the language-implementation study of sections 3-7
+turned into code:
+
+* :mod:`~repro.splitc.gptr` — the 64-bit global pointer representation
+  and its local/global arithmetic (section 3.3).
+* :mod:`~repro.splitc.annex_policy` — Annex register management
+  strategies: the single-register policy the paper adopts and the
+  multi-register/table alternatives it rejects (section 3.4).
+* :mod:`~repro.splitc.runtime` — blocking read/write, split-phase
+  get/put + sync, signaling stores and their syncs (sections 4, 5, 7).
+* :mod:`~repro.splitc.bulk` — every bulk-transfer mechanism and the
+  measurement-driven dispatch between them (section 6).
+* :mod:`~repro.splitc.am` — poll-based Active Messages rebuilt from
+  fetch&increment + stores, with the correct byte-write (section 7.4).
+* :mod:`~repro.splitc.codegen` — the "compiler": turns micro-benchmark
+  measurements into a mechanism-selection plan.
+* :mod:`~repro.splitc.spread` — spread arrays over the global address
+  space.
+"""
+
+from repro.splitc import collectives
+from repro.splitc.access_pass import GlobalAccess, schedule_accesses
+from repro.splitc.am import ActiveMessages
+from repro.splitc.annex_policy import (
+    AnnexPolicy,
+    MultiAnnexPolicy,
+    OsManagedAnnexPolicy,
+    SingleAnnexPolicy,
+)
+from repro.splitc.codegen import CodegenPlan, default_plan, derive_plan
+from repro.splitc.consistency import PrivateRegion, as_local_offset
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import SplitC, run_splitc
+from repro.splitc.spread import SpreadArray
+from repro.splitc.stats import OpStats
+from repro.splitc.sync_objects import SpinLock, TicketLock, WorkQueue
+from repro.splitc.trace import SpanTrace, render_timeline
+
+__all__ = [
+    "ActiveMessages",
+    "AnnexPolicy",
+    "CodegenPlan",
+    "GlobalAccess",
+    "GlobalPtr",
+    "MultiAnnexPolicy",
+    "OsManagedAnnexPolicy",
+    "PrivateRegion",
+    "as_local_offset",
+    "SingleAnnexPolicy",
+    "OpStats",
+    "SpanTrace",
+    "SpinLock",
+    "SplitC",
+    "SpreadArray",
+    "TicketLock",
+    "WorkQueue",
+    "collectives",
+    "render_timeline",
+    "schedule_accesses",
+    "default_plan",
+    "derive_plan",
+    "run_splitc",
+]

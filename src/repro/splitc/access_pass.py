@@ -1,0 +1,123 @@
+"""The Annex-scheduling compiler pass (section 3.4's optimization,
+made concrete).
+
+The paper notes the conservative runtime reloads the single Annex
+register on *every* remote access because, in general, the compiler
+cannot prove that consecutive accesses name the same processor — but
+"skipping the Annex update if the compiler can determine that
+successive accesses are to the same processor" is the optimization a
+static pass can unlock.
+
+Split-C's own semantics provide the legality argument: split-phase
+``get``/``put`` operations issued between two ``sync`` points are
+unordered by definition (section 5.1), so a compiler may freely
+reorder them.  This pass groups each sync-delimited window of
+split-phase accesses by target processor and emits the window with the
+skip-when-unchanged Annex policy, turning N reloads into
+(distinct processors) reloads per window.
+
+Blocking reads/writes are sequence points (they appear sequentially
+consistent, section 4.1) and are never moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.splitc.annex_policy import SingleAnnexPolicy
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["GlobalAccess", "execute_accesses", "schedule_window",
+           "schedule_accesses"]
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One access in a straight-line global-access sequence.
+
+    ``kind`` is ``"get"``, ``"put"``, ``"read"``, ``"write"``, or
+    ``"sync"`` (a sequence point with no target).
+    """
+
+    kind: str
+    target: GlobalPtr | None = None
+    value: object = None
+    local_offset: int | None = None
+
+    SPLIT_PHASE = frozenset({"get", "put"})
+    BLOCKING = frozenset({"read", "write"})
+
+    def __post_init__(self):
+        if self.kind not in ("get", "put", "read", "write", "sync"):
+            raise ValueError(f"unknown access kind {self.kind!r}")
+        if self.kind != "sync" and self.target is None:
+            raise ValueError(f"{self.kind} needs a target pointer")
+
+
+def schedule_window(window: list[GlobalAccess]) -> list[GlobalAccess]:
+    """Reorder one sync-delimited window of split-phase accesses.
+
+    Stable grouping by target processor: accesses to one processor
+    keep their program order (puts to the same location must not swap),
+    processors appear in first-touch order.
+    """
+    order: list[int] = []
+    by_pe: dict[int, list[GlobalAccess]] = {}
+    for access in window:
+        pe = access.target.pe
+        if pe not in by_pe:
+            order.append(pe)
+            by_pe[pe] = []
+        by_pe[pe].append(access)
+    return [access for pe in order for access in by_pe[pe]]
+
+
+def schedule_accesses(accesses: list[GlobalAccess]) -> list[GlobalAccess]:
+    """The whole pass: group split-phase windows, keep sequence points.
+
+    A blocking access or a ``sync`` closes the current window (the
+    blocking access itself is emitted in place).
+    """
+    out: list[GlobalAccess] = []
+    window: list[GlobalAccess] = []
+
+    def flush():
+        out.extend(schedule_window(window))
+        window.clear()
+
+    for access in accesses:
+        if access.kind in GlobalAccess.SPLIT_PHASE:
+            window.append(access)
+        else:
+            flush()
+            out.append(access)
+    flush()
+    return out
+
+
+def execute_accesses(sc, accesses: list[GlobalAccess],
+                     scheduled: bool = True) -> float:
+    """Run a sequence through a runtime; returns the cycles it took.
+
+    With ``scheduled=True`` the pass reorders the sequence and the
+    runtime uses the skip-when-unchanged Annex policy (the compiler
+    has proven the grouping); otherwise the sequence runs as written
+    under the conservative reload-always policy.
+    """
+    sequence = schedule_accesses(accesses) if scheduled else accesses
+    if scheduled:
+        sc.annex_policy = SingleAnnexPolicy(skip_when_unchanged=True)
+    before = sc.ctx.clock
+    for access in sequence:
+        if access.kind == "get":
+            sc.get(access.target, access.local_offset)
+        elif access.kind == "put":
+            sc.put(access.target, access.value)
+        elif access.kind == "read":
+            sc.read(access.target)
+        elif access.kind == "write":
+            sc.write(access.target, access.value)
+        else:
+            sc.sync()
+    sc.sync()
+    return sc.ctx.clock - before

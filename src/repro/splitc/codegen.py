@@ -1,0 +1,163 @@
+"""The "compiler": measurement-driven mechanism selection.
+
+The paper's central method is to let micro-benchmark measurements
+dictate code generation (section 1: "our language implementation
+approach begins by establishing the actual performance of the machine
+and then tries to minimize the additional costs").  This module is
+that decision procedure made explicit:
+
+* which read mechanism implements the Split-C ``read`` (uncached,
+  because cached reads need a 23-cycle coherence flush — section 4.4);
+* how Annex registers are managed (one register, reloaded per access,
+  because table lookups approach the reload cost and multi-register
+  configurations risk write-buffer synonyms — section 3.4);
+* where the bulk-transfer crossovers fall (prefetch beats the BLT
+  until its 180 microsecond start-up amortizes, ~16 KB for blocking
+  reads; ~7,900 bytes for non-blocking gets — section 6.3);
+* that non-blocking stores implement all bulk writes (section 6.2).
+
+:func:`derive_plan` computes a :class:`CodegenPlan` from a
+:class:`Measurements` record (typically produced by
+:mod:`repro.microbench`); :func:`default_plan` uses the paper's
+published numbers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import WORD_BYTES
+from repro.splitc.annex_policy import AnnexPolicy, SingleAnnexPolicy
+
+__all__ = ["CodegenPlan", "Measurements", "default_plan", "derive_plan"]
+
+
+@dataclass(frozen=True)
+class Measurements:
+    """Micro-benchmark results the compiler decides from (cycles)."""
+
+    uncached_read_cycles: float = 91.0        # section 4.2
+    cached_read_cycles: float = 114.0         # section 4.2
+    flush_line_cycles: float = 23.0           # section 4.4
+    words_per_line: int = 4
+    annex_update_cycles: float = 23.0         # section 3.2
+    annex_table_lookup_cycles: float = 10.0   # section 3.4
+    #: Steady-state per-word cost of the pipelined prefetch mechanism
+    #: (pop 23 + issue 4 + amortized round trip, ~= 27.3 at depth 16).
+    prefetch_per_word_cycles: float = 27.3
+    blt_startup_cycles: float = 27_000.0      # section 6.3
+    blt_per_word_cycles: float = 8.57         # ~140 MB/s
+    store_per_word_cycles: float = 17.0       # Figure 7
+    multi_annex_synonym_risk: bool = True     # section 3.4
+
+
+@dataclass(frozen=True)
+class CodegenPlan:
+    """The mechanism-selection decisions driving the runtime."""
+
+    #: "uncached" or "cached" implementation of the blocking read.
+    read_mechanism: str = "uncached"
+    #: Annex policy for scalar accesses; a zero-arg factory.
+    annex_policy_factory: object = SingleAnnexPolicy
+    #: Whether the runtime may skip the Annex reload when consecutive
+    #: accesses name the same processor (requires compiler knowledge;
+    #: the measured Split-C costs include the reload every time).
+    annex_skip_when_unchanged: bool = False
+    #: Transfers at or below this use a single uncached read.
+    bulk_read_single_limit: int = WORD_BYTES
+    #: Blocking bulk reads at or above this size use the BLT.
+    bulk_read_blt_threshold: int = 16 * 1024
+    #: Non-blocking bulk gets at or above this size use the BLT
+    #: (paper: ~7,900 bytes).
+    bulk_get_blt_threshold: int = 7_900
+    #: Bulk writes use non-blocking stores below this size; the paper
+    #: found stores superior at every size, so the default is "never".
+    bulk_write_blt_threshold: int | None = None
+    #: Cached-read bulk transfers batch per-line flushes into a single
+    #: whole-cache flush at or above this size (section 6.2, note 3).
+    batch_flush_threshold: int = 8 * 1024
+    #: Rationale strings for documentation / reports.
+    notes: tuple = field(default=())
+
+    def make_annex_policy(self) -> AnnexPolicy:
+        factory = self.annex_policy_factory
+        try:
+            return factory(skip_when_unchanged=self.annex_skip_when_unchanged)
+        except TypeError:
+            return factory()
+
+
+def default_plan() -> CodegenPlan:
+    """The paper's published decisions (sections 3.4, 4.4, 6.3)."""
+    return derive_plan(Measurements())
+
+
+def derive_plan(m: Measurements) -> CodegenPlan:
+    """Compute the plan the way the paper's authors did.
+
+    Every decision below is a measured-cost comparison; the notes
+    record the arithmetic so reports can show *why* the compiler chose
+    what it chose.
+    """
+    notes = []
+
+    # Read mechanism: a C-like language cannot prove absence of
+    # sharing, so every cached read of a scalar must be followed by a
+    # coherence flush of its line (section 4.4); compare that total
+    # against the uncached read.
+    single_cached = m.cached_read_cycles + m.flush_line_cycles
+    read_mechanism = (
+        "uncached" if single_cached >= m.uncached_read_cycles else "cached"
+    )
+    notes.append(
+        f"read: uncached {m.uncached_read_cycles:.0f} vs cached+flush "
+        f"{m.cached_read_cycles + m.flush_line_cycles:.0f} cycles -> "
+        f"{read_mechanism}"
+    )
+
+    # Annex policy: the table lookup saves (update - lookup) cycles on
+    # a hit but risks synonyms; the paper concludes one entry suffices.
+    saving = m.annex_update_cycles - m.annex_table_lookup_cycles
+    notes.append(
+        f"annex: table saves only {saving:.0f} cycles/access and "
+        f"{'risks synonyms' if m.multi_annex_synonym_risk else 'is safe'}"
+        " -> single register"
+    )
+
+    # Bulk-read crossover: startup / (prefetch - blt per-word rate).
+    if m.prefetch_per_word_cycles <= m.blt_per_word_cycles:
+        blt_threshold = None  # pragma: no cover - BLT never wins
+    else:
+        words = m.blt_startup_cycles / (
+            m.prefetch_per_word_cycles - m.blt_per_word_cycles)
+        blt_threshold = _round_up_pow2(int(words * WORD_BYTES))
+    notes.append(f"bulk read: BLT from {blt_threshold} bytes")
+
+    # Bulk-get crossover: data the prefetch pipe moves during one BLT
+    # start-up (the paper's 7,900-byte rule).
+    get_threshold = int(
+        m.blt_startup_cycles / m.prefetch_per_word_cycles) * WORD_BYTES
+    notes.append(f"bulk get: BLT from {get_threshold} bytes")
+
+    # Bulk writes: stores beat the BLT at every size iff the BLT never
+    # recovers its startup before the store path's bandwidth ceiling.
+    notes.append("bulk write: non-blocking stores at every size")
+
+    return CodegenPlan(
+        read_mechanism=read_mechanism,
+        annex_policy_factory=SingleAnnexPolicy,
+        annex_skip_when_unchanged=False,
+        bulk_read_single_limit=WORD_BYTES,
+        bulk_read_blt_threshold=(
+            blt_threshold if blt_threshold is not None else 1 << 62),
+        bulk_get_blt_threshold=get_threshold,
+        bulk_write_blt_threshold=None,
+        batch_flush_threshold=8 * 1024,
+        notes=tuple(notes),
+    )
+
+
+def _round_up_pow2(n: int) -> int:
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()

@@ -1,0 +1,127 @@
+"""Collective operations built on the Split-C primitives.
+
+The Split-C library shipped collective operations layered on exactly
+the mechanisms this paper characterizes; these implementations follow
+the paper's cost rankings: one-way **stores** for data movement (the
+cheapest mechanism, section 6.4), completion via **all_store_sync** on
+the hardware fuzzy barrier (section 7.5), and local combining on the
+owning thread.
+
+All collectives are generator functions (they synchronize) and must be
+called by *every* processor at the same program point, like the
+barrier itself.  Scratch space is allocated symmetrically on first use
+and cached on the runtime.
+"""
+
+from __future__ import annotations
+
+from repro.params import WORD_BYTES
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["all_gather", "all_reduce", "broadcast", "reduce", "scan"]
+
+_SCRATCH_ATTR = "_collective_scratch"
+
+
+def _scratch(sc, nwords: int) -> int:
+    """Per-runtime symmetric scratch region of at least ``nwords``."""
+    cached = getattr(sc, _SCRATCH_ATTR, None)
+    if cached is None or cached[1] < nwords:
+        offset = sc.all_alloc(max(nwords, sc.num_pes) * WORD_BYTES)
+        cached = (offset, max(nwords, sc.num_pes))
+        setattr(sc, _SCRATCH_ATTR, cached)
+    return cached[0]
+
+
+def broadcast(sc, root: int, value=None):
+    """Broadcast ``value`` from ``root``; returns it on every PE.
+
+    Flat push: the root stores the value into every processor's
+    scratch slot (stores pipeline at ~45 cycles each), then a store
+    sync publishes it.
+    """
+    base = _scratch(sc, 1)
+    if sc.my_pe == root:
+        sc.ctx.local_write(base, value)
+        for pe in range(sc.num_pes):
+            if pe != root:
+                sc.store(GlobalPtr(pe, base), value)
+    yield from sc.all_store_sync()
+    result = sc.ctx.local_read(base)
+    yield from sc.barrier()        # scratch reusable afterwards
+    return result
+
+
+def reduce(sc, root: int, value, op=lambda a, b: a + b):
+    """Reduce every processor's ``value`` at ``root`` with ``op``.
+
+    Each processor stores its contribution into a dedicated slot on
+    the root (no read-modify-write races, section 4.5's lesson); the
+    root combines locally after the store sync.  Returns the result on
+    the root and ``None`` elsewhere.
+    """
+    base = _scratch(sc, sc.num_pes)
+    slot = GlobalPtr(root, base + sc.my_pe * WORD_BYTES)
+    if sc.my_pe == root:
+        sc.ctx.local_write(slot.addr, value)
+    else:
+        sc.store(slot, value)
+    yield from sc.all_store_sync()
+    result = None
+    if sc.my_pe == root:
+        result = sc.ctx.local_read(base)
+        for pe in range(1, sc.num_pes):
+            contribution = sc.ctx.local_read(base + pe * WORD_BYTES)
+            result = op(result, contribution)
+            sc.ctx.charge(sc.ctx.node.alpha.alu(2))
+    yield from sc.barrier()
+    return result
+
+
+def all_gather(sc, value) -> list:
+    """Gather every processor's ``value``; returns the full list
+    everywhere (indexable by processor number)."""
+    base = _scratch(sc, sc.num_pes)
+    for pe in range(sc.num_pes):
+        target = GlobalPtr(pe, base + sc.my_pe * WORD_BYTES)
+        if pe == sc.my_pe:
+            sc.ctx.local_write(target.addr, value)
+        else:
+            sc.store(target, value)
+    yield from sc.all_store_sync()
+    values = [sc.ctx.local_read(base + pe * WORD_BYTES)
+              for pe in range(sc.num_pes)]
+    yield from sc.barrier()
+    return values
+
+
+def all_reduce(sc, value, op=lambda a, b: a + b):
+    """Reduce and leave the result on every processor.
+
+    All-gather then combine locally: O(P) stores like the rooted
+    reduce, but no second broadcast round trip.
+    """
+    values = yield from all_gather(sc, value)
+    result = values[0]
+    for contribution in values[1:]:
+        result = op(result, contribution)
+        sc.ctx.charge(sc.ctx.node.alpha.alu(2))
+    return result
+
+
+def scan(sc, value, op=lambda a, b: a + b, exclusive: bool = True):
+    """Prefix ``op`` over processor order.
+
+    Returns, on processor p, ``op`` folded over the values of
+    processors ``< p`` (exclusive, with ``None`` on processor 0 when
+    there is nothing to fold) or ``<= p`` (inclusive).
+    """
+    values = yield from all_gather(sc, value)
+    upto = sc.my_pe + (1 if not exclusive else 0)
+    if upto == 0:
+        return None
+    result = values[0]
+    for contribution in values[1:upto]:
+        result = op(result, contribution)
+        sc.ctx.charge(sc.ctx.node.alpha.alu(2))
+    return result

@@ -1,0 +1,57 @@
+"""Global/local consistency control (paper section 4.5).
+
+Writes through *global* pointers block until complete, but the same
+memory is reachable through ordinary *local* pointers whose stores sit
+in the write buffer — so a local-pointer read can overtake an earlier
+local-pointer write and another processor can observe the reordering.
+
+The Split-C implementation's answer is **privatization**: the
+programmer brackets regions that access shared global data through
+local pointers, and the runtime issues memory barriers at the
+boundaries, restoring ordering at region granularity.
+
+:func:`as_local_offset` performs the global-to-local pointer cast that
+creates the exposure in the first place.
+"""
+
+from __future__ import annotations
+
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["PrivateRegion", "as_local_offset"]
+
+
+def as_local_offset(sc, gp: GlobalPtr) -> int:
+    """Cast a global pointer to a raw local offset (section 3.1
+    extraction).  Only legal for pointers into the caller's region;
+    accesses through the result use the buffered local path and are
+    subject to the section 4.5 reordering unless privatized."""
+    if not gp.is_local_to(sc.my_pe):
+        raise ValueError(
+            f"pe {sc.my_pe} cannot localize a pointer owned by pe {gp.pe}")
+    sc.ctx.charge(sc.ctx.node.alpha.alu(1))     # extract the address field
+    return gp.addr
+
+
+class PrivateRegion:
+    """Context manager bracketing local-pointer access to shared data.
+
+    Entry and exit both drain the write buffer, so writes buffered
+    before the region cannot be overtaken by reads inside it, and
+    writes inside it are visible to other processors after it.
+
+        with PrivateRegion(sc):
+            offset = as_local_offset(sc, gp)
+            sc.ctx.local_write(offset, v)   # safely ordered
+    """
+
+    def __init__(self, sc):
+        self.sc = sc
+
+    def __enter__(self):
+        self.sc.ctx.memory_barrier()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.sc.ctx.memory_barrier()
+        return False

@@ -1,0 +1,122 @@
+"""Global pointers (paper sections 3.1, 3.3).
+
+A Split-C global pointer references any location in the global address
+space.  On the T3D it is represented as a single 64-bit value — the
+processor number in the upper 16 bits, the local address in the lower
+48 — the same size as a local pointer, so transfer is free and the
+Alpha's byte-manipulation instructions make extraction/insertion fast.
+
+Two arithmetic modes are defined (section 3.1):
+
+* **local addressing** treats the space as segmented per processor: an
+  incremented pointer refers to the next location *on the same
+  processor*;
+* **global addressing** treats the space as linear with the processor
+  component varying fastest: incrementing walks across processors and
+  wraps from the last processor to the next offset on the first.
+
+Null is all-zeros, so the C idiom ``if (p)`` works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import WORD_BYTES
+
+__all__ = ["GlobalPtr", "PE_SHIFT", "ADDR_MASK"]
+
+#: Bit position of the processor number in the 64-bit representation.
+PE_SHIFT = 48
+
+#: Mask of the local-address field.
+ADDR_MASK = (1 << PE_SHIFT) - 1
+
+_PE_MASK = (1 << 16) - 1
+
+
+@dataclass(frozen=True)
+class GlobalPtr:
+    """An immutable (processor, local address) pair with pointer laws.
+
+    All arithmetic returns new pointers; ``num_pes`` must be supplied
+    for global addressing because the wrap-around depends on the
+    machine size.
+    """
+
+    pe: int
+    addr: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pe <= _PE_MASK:
+            raise ValueError(f"processor {self.pe} does not fit in 16 bits")
+        if not 0 <= self.addr <= ADDR_MASK:
+            raise ValueError(f"address {self.addr:#x} does not fit in 48 bits")
+
+    # ------------------------------------------------------------------
+    # 64-bit representation (extraction and construction, section 3.1)
+    # ------------------------------------------------------------------
+
+    def encode(self) -> int:
+        """The 64-bit machine representation."""
+        return (self.pe << PE_SHIFT) | self.addr
+
+    @classmethod
+    def decode(cls, bits: int) -> "GlobalPtr":
+        """Rebuild a pointer from its 64-bit representation."""
+        if not 0 <= bits < (1 << 64):
+            raise ValueError("representation must fit in 64 bits")
+        return cls(pe=bits >> PE_SHIFT, addr=bits & ADDR_MASK)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def local_add(self, nbytes: int) -> "GlobalPtr":
+        """Local addressing: advance within the owning processor.
+
+        Performed exactly as on a standard pointer — the 48-bit address
+        field never overflows into the processor bits for any valid
+        heap offset (section 3.3).
+        """
+        return GlobalPtr(self.pe, self.addr + nbytes)
+
+    def global_add(self, nelems: int, num_pes: int,
+                   elem_bytes: int = WORD_BYTES) -> "GlobalPtr":
+        """Global addressing: processor varies fastest, wrapping from
+        the last processor to the next offset on the first."""
+        if num_pes < 1:
+            raise ValueError("num_pes must be positive")
+        linear = self.pe + nelems
+        pe = linear % num_pes
+        rows = linear // num_pes
+        return GlobalPtr(pe, self.addr + rows * elem_bytes)
+
+    def local_diff(self, other: "GlobalPtr") -> int:
+        """Byte distance between two pointers on the same processor."""
+        if self.pe != other.pe:
+            raise ValueError("local_diff requires pointers on one processor")
+        return self.addr - other.addr
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def is_null(self) -> bool:
+        """Null test: equality with the all-zero representation."""
+        return self.encode() == 0
+
+    def is_local_to(self, pe: int) -> bool:
+        """Whether a dereference by ``pe`` stays on-node.
+
+        Note a *global* access may still be local (section 1.1): the
+        type distinguishes the pointer kind, not the location.
+        """
+        return self.pe == pe
+
+    def __bool__(self) -> bool:
+        return not self.is_null()
+
+    @classmethod
+    def null(cls) -> "GlobalPtr":
+        return cls(0, 0)

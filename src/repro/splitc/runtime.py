@@ -1,0 +1,381 @@
+"""The Split-C runtime on the simulated T3D (paper sections 4, 5, 7).
+
+One :class:`SplitC` instance exists per SPMD thread, wrapping the
+thread's :class:`~repro.machine.context.Context` with the language
+primitives:
+
+=================  ====================================================
+``read``/``write`` blocking global access (sequentially consistent)
+``get``/``put``    split-phase access; ``sync`` waits for completion
+``store``          one-way signaling store (weakest completion)
+``all_store_sync`` barrier that also retires outstanding stores
+``store_sync``     wait for N bytes to arrive locally
+``barrier``        global barrier on the hardware fuzzy-barrier tree
+=================  ====================================================
+
+The implementation follows the paper's measured decisions (held in a
+:class:`~repro.splitc.codegen.CodegenPlan`): reads are uncached loads,
+gets are binding prefetches with a target-address table, puts/stores
+are non-blocking stores with acknowledgement tracking, and the Annex
+is managed by a single conservatively-reloaded register.
+
+Blocking primitives are generator methods (``yield from sc.barrier()``);
+everything else is a plain call that advances the thread's clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.node.alpha import extract_byte, merge_byte_into_word
+from repro.params import WORD_BYTES
+from repro.shell.annex import ReadMode
+from repro.splitc.codegen import CodegenPlan, default_plan
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.stats import OpStats
+from repro.splitc.trace import SpanTrace
+
+__all__ = ["SplitC", "run_splitc"]
+
+
+class SplitC:
+    """Per-thread Split-C runtime."""
+
+    def __init__(self, ctx, plan: CodegenPlan | None = None,
+                 trace: bool = False):
+        self.ctx = ctx
+        self.plan = plan if plan is not None else default_plan()
+        self.annex_policy = self.plan.make_annex_policy()
+        # Split-phase gets: local target addresses in FIFO (= prefetch
+        # queue) order, section 5.4's table.
+        self._get_targets: list[int] = []
+        # Split-phase BLT transfers awaiting the next sync.
+        self._pending_blt: list = []
+        # store_sync bookkeeping: bytes already consumed by past syncs,
+        # globally and per region (the region-scoped extension).
+        self._store_bytes_consumed = 0
+        self._region_bytes_consumed: dict = {}
+        #: Per-operation cost accounting (see repro.splitc.stats).
+        self.stats = OpStats()
+        #: Optional span trace (see repro.splitc.trace).
+        self.trace = SpanTrace() if trace else None
+
+    def _record(self, op: str, start: float) -> None:
+        self.stats.record(op, self.ctx.clock - start)
+        if self.trace is not None:
+            self.trace.add(op, start, self.ctx.clock)
+
+    @contextmanager
+    def _timed(self, op: str):
+        before = self.ctx.clock
+        yield
+        self._record(op, before)
+
+    # ------------------------------------------------------------------
+    # Identity and memory
+    # ------------------------------------------------------------------
+
+    @property
+    def my_pe(self) -> int:
+        return self.ctx.pe
+
+    @property
+    def num_pes(self) -> int:
+        return self.ctx.num_pes
+
+    def alloc(self, nbytes: int, align: int = 8) -> GlobalPtr:
+        """Allocate in this processor's local region of the global
+        space; returns a global pointer to it."""
+        offset = self.ctx.node.heap.alloc(nbytes, align)
+        return GlobalPtr(self.my_pe, offset)
+
+    def all_alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate the same offset on every processor (symmetric
+        heap); every thread must call it in the same order.  Returns
+        the common local offset."""
+        offset = self.ctx.node.heap.alloc(nbytes, align)
+        return offset
+
+    def gptr(self, pe: int, offset: int) -> GlobalPtr:
+        """Construct a global pointer (section 3.1 construction)."""
+        return GlobalPtr(pe, offset)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _setup_annex(self, pe: int, mode: ReadMode = ReadMode.UNCACHED):
+        index, cycles = self.annex_policy.setup(self.ctx.node.annex, pe, mode)
+        self.ctx.charge(cycles)
+        return index
+
+    def _full_addr(self, index: int, offset: int) -> int:
+        return self.ctx.node.annex.compose_address(index, offset)
+
+    # ------------------------------------------------------------------
+    # Blocking read / write (section 4)
+    # ------------------------------------------------------------------
+
+    def read(self, gp: GlobalPtr):
+        """Blocking global read; ~128 cycles remote (section 4.4)."""
+        if gp.is_local_to(self.my_pe):
+            with self._timed("read (local)"):
+                value = self.ctx.local_read(gp.addr)
+            return value
+        if self.plan.read_mechanism == "cached":
+            with self._timed("read (cached remote)"):
+                value = self._read_cached_with_flush(gp)
+            return value
+        with self._timed("read (remote)"):
+            self._setup_annex(gp.pe)
+            cycles, value = self.ctx.node.remote.uncached_read(
+                self.ctx.clock, gp.pe, gp.addr)
+            self.ctx.charge(cycles + self.ctx.node.params.shell.remote.
+                            splitc_read_extra_cycles)
+        return value
+
+    def _read_cached_with_flush(self, gp: GlobalPtr):
+        """The rejected cached-read implementation (section 4.4): fetch
+        a line, then flush it to stay coherent.  Kept for ablation."""
+        index = self._setup_annex(gp.pe, ReadMode.CACHED)
+        full = self._full_addr(index, gp.addr)
+        cycles, value = self.ctx.node.remote.cached_read(
+            self.ctx.clock, gp.pe, gp.addr, full)
+        self.ctx.charge(cycles)
+        self.ctx.charge(self.ctx.node.remote.invalidate_cached_line(full))
+        self.ctx.charge(
+            self.ctx.node.params.shell.remote.splitc_read_extra_cycles)
+        return value
+
+    def write(self, gp: GlobalPtr, value) -> None:
+        """Blocking global write; ~147 cycles remote (section 4.4).
+
+        Local writes through a global pointer also wait for completion
+        (a store plus a memory barrier), which is what creates the
+        global/local consistency asymmetry of section 4.5.
+        """
+        if gp.is_local_to(self.my_pe):
+            with self._timed("write (local)"):
+                self.ctx.local_write(gp.addr, value)
+                self.ctx.memory_barrier()
+            return
+        with self._timed("write (remote)"):
+            index = self._setup_annex(gp.pe)
+            full = self._full_addr(index, gp.addr)
+            cycles = self.ctx.node.remote.blocking_write(
+                self.ctx.clock, gp.pe, gp.addr, value, full)
+            overlap = (self.ctx.node.params.shell.remote
+                       .splitc_write_overlap_cycles)
+            self.ctx.charge(max(0.0, cycles - overlap))
+
+    # ------------------------------------------------------------------
+    # Split-phase get / put / sync (section 5)
+    # ------------------------------------------------------------------
+
+    def get(self, gp: GlobalPtr, local_offset: int) -> None:
+        """Initiate a split-phase read of ``gp`` into local memory.
+
+        Implemented with the binding prefetch (section 5.4): issue the
+        fetch, record the target address in the table; ``sync`` pops
+        the queue and stores each value to its target.  When the
+        16-entry queue fills, outstanding gets are drained first.
+        """
+        if gp.is_local_to(self.my_pe):
+            with self._timed("get (local)"):
+                value = self.ctx.local_read(gp.addr)
+                self.ctx.local_write(local_offset, value)
+            return
+        with self._timed("get (issue)"):
+            pf = self.ctx.node.prefetch
+            if pf.outstanding() >= pf.depth:
+                self._drain_gets()
+            self._setup_annex(gp.pe)
+            self.ctx.charge(pf.issue(self.ctx.clock, gp.pe, gp.addr))
+            self.ctx.charge(pf.params.table_cycles)   # table update
+            self._get_targets.append(local_offset)
+
+    def put(self, gp: GlobalPtr, value) -> None:
+        """Initiate a split-phase write; ~45 cycles (section 5.4)."""
+        if gp.is_local_to(self.my_pe):
+            with self._timed("put (local)"):
+                self.ctx.local_write(gp.addr, value)
+            return
+        with self._timed("put (issue)"):
+            index = self._setup_annex(gp.pe)
+            full = self._full_addr(index, gp.addr)
+            self.ctx.charge(self.ctx.node.remote.store(
+                self.ctx.clock, gp.pe, gp.addr, value, full))
+            self.ctx.charge(
+                self.ctx.node.params.shell.remote.splitc_put_extra_cycles)
+
+    def _drain_gets(self) -> None:
+        pf = self.ctx.node.prefetch
+        if pf.needs_barrier_before_pop():
+            self.ctx.memory_barrier()
+        for target in self._get_targets:
+            cycles, value = pf.pop(self.ctx.clock)
+            self.ctx.charge(cycles)
+            self.ctx.charge(pf.params.table_cycles)   # table lookup
+            self.ctx.local_write(target, value)
+        self._get_targets = []
+
+    def sync(self) -> None:
+        """Wait for all outstanding gets, puts, and split-phase bulk
+        transfers (section 5.1).
+
+        The left-hand sides of pending gets are defined after this
+        returns; pending puts are acknowledged; pending BLT transfers
+        have completed.
+        """
+        with self._timed("sync"):
+            self._drain_gets()
+            self.ctx.memory_barrier()
+            self.ctx.clock = self.ctx.node.remote.wait_for_acks(
+                self.ctx.clock)
+            for transfer in self._pending_blt:
+                self.ctx.clock = self.ctx.node.blt.wait(self.ctx.clock,
+                                                        transfer)
+            self._pending_blt = []
+
+    @property
+    def pending_gets(self) -> int:
+        return len(self._get_targets)
+
+    # ------------------------------------------------------------------
+    # Signaling stores (section 7.1)
+    # ------------------------------------------------------------------
+
+    def store(self, gp: GlobalPtr, value) -> None:
+        """The ``:=`` one-way store.
+
+        The T3D offers no unacknowledged store (section 7.2), so this
+        is a put whose acknowledgement is simply deferred; the gain is
+        pipelining many stores before any wait.
+        """
+        self.put(gp, value)
+
+    def all_store_sync(self):
+        """Global barrier that also retires outstanding stores: the
+        bulk-synchronous phase boundary (sections 7.1, 7.5).
+
+        Implemented on the fuzzy barrier: drain and acknowledge local
+        stores, start-barrier, wait, end-barrier.
+        """
+        before = self.ctx.clock
+        self.ctx.memory_barrier()
+        self.ctx.clock = self.ctx.node.remote.wait_for_acks(self.ctx.clock)
+        yield from self.ctx.barrier()
+        # Stores from every processor are acknowledged before its
+        # barrier start, hence complete before anyone exits.
+        self._store_bytes_consumed = self.ctx.node.bytes_arrived_total()
+        self._record("all_store_sync", before)
+
+    def store_sync(self, nbytes: int, region=None):
+        """Wait until ``nbytes`` more have been stored into this
+        processor's memory (message-driven completion, section 7.1).
+
+        With ``region`` — a half-open ``(lo, hi)`` address pair — only
+        stores landing in that region count.  This region scoping is
+        an extension beyond the paper's primitive: it gives the
+        per-phase completion counting that phase-pipelined programs
+        (like the message-driven EM3D) need to avoid one phase's
+        arrivals satisfying another phase's wait.
+        """
+        if region is None:
+            target = self._store_bytes_consumed + nbytes
+            yield from self.ctx.wait_for_bytes(target)
+            self._store_bytes_consumed = target
+        else:
+            consumed = self._region_bytes_consumed.get(region, 0)
+            target = consumed + nbytes
+            yield from self.ctx.wait_for_bytes(target, region)
+            self._region_bytes_consumed[region] = target
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+
+    def barrier(self):
+        """Split-C global barrier on the hardware tree (section 7.5)."""
+        before = self.ctx.clock
+        yield from self.ctx.barrier()
+        self._record("barrier", before)
+
+    # ------------------------------------------------------------------
+    # Sub-word accesses (section 4.5)
+    # ------------------------------------------------------------------
+
+    def read_byte(self, gp: GlobalPtr, byte_index: int) -> int:
+        """Read one byte of a global word (extract on a word read)."""
+        word = self.read(gp)
+        self.ctx.charge(self.ctx.node.alpha.alu(2))
+        return extract_byte(int(word), byte_index)
+
+    def write_byte_racy(self, gp: GlobalPtr, byte_index: int,
+                        byte: int) -> None:
+        """The broken byte store: a word read-modify-write (section
+        4.5).  Correct only when no other processor updates the word;
+        concurrent updates clobber each other.  Kept deliberately: the
+        probe suite demonstrates the loss."""
+        word = self.read(gp)
+        self.ctx.charge(self.ctx.node.alpha.alu(3))
+        merged = merge_byte_into_word(int(word), byte, byte_index)
+        self.write(gp, merged)
+
+    # ------------------------------------------------------------------
+    # Bulk transfers (section 6) — thin wrappers over repro.splitc.bulk
+    # ------------------------------------------------------------------
+
+    def bulk_read(self, dst_offset: int, src: GlobalPtr, nbytes: int) -> None:
+        """Blocking bulk read with the measured size dispatch."""
+        from repro.splitc import bulk
+        with self._timed("bulk_read"):
+            bulk.bulk_read(self, dst_offset, src, nbytes)
+
+    def bulk_write(self, dst: GlobalPtr, src_offset: int, nbytes: int) -> None:
+        """Blocking bulk write (non-blocking stores + ack wait)."""
+        from repro.splitc import bulk
+        with self._timed("bulk_write"):
+            bulk.bulk_write(self, dst, src_offset, nbytes)
+
+    def bulk_get(self, dst_offset: int, src: GlobalPtr, nbytes: int) -> None:
+        """Split-phase bulk read; completes at the next ``sync``."""
+        from repro.splitc import bulk
+        with self._timed("bulk_get"):
+            bulk.bulk_get(self, dst_offset, src, nbytes)
+
+    def bulk_put(self, dst: GlobalPtr, src_offset: int, nbytes: int) -> None:
+        """Split-phase bulk write; completes at the next ``sync``."""
+        from repro.splitc import bulk
+        with self._timed("bulk_put"):
+            bulk.bulk_put(self, dst, src_offset, nbytes)
+
+    def bulk_gather(self, dst_offset: int, src: GlobalPtr, nelems: int,
+                    stride_bytes: int) -> None:
+        """Strided gather (section 6.2's strided BLT vs the prefetch
+        pipe, dispatched on payload size)."""
+        from repro.splitc import bulk
+        with self._timed("bulk_gather"):
+            bulk.bulk_gather(self, dst_offset, src, nelems, stride_bytes)
+
+
+def run_splitc(machine, program, *args, plan: CodegenPlan | None = None,
+               trace: bool = False, **kwargs):
+    """Run a Split-C SPMD program on a machine.
+
+    ``program`` is a generator function ``program(sc, *args, **kwargs)``
+    receiving a :class:`SplitC` runtime.  With ``trace=True`` every
+    operation records a span (see :mod:`repro.splitc.trace`).
+    Returns ``(results, runtimes)``.
+    """
+    runtimes = {}
+
+    def wrapper(ctx, *a, **kw):
+        sc = SplitC(ctx, plan=plan, trace=trace)
+        runtimes[ctx.pe] = sc
+        result = yield from program(sc, *a, **kw)
+        return result
+
+    results, contexts = machine.run_spmd(wrapper, *args, **kwargs)
+    ordered = [runtimes[pe] for pe in sorted(runtimes)]
+    return results, ordered

@@ -1,0 +1,117 @@
+"""Spread arrays over the global address space (paper sections 1.1, 3.1).
+
+A spread array places element ``i`` on processor ``i mod P`` — the
+"processor varies fastest" global addressing of section 3.1 — with the
+per-processor slices at a common symmetric offset.  The EM3D graph and
+the stencil example build their shared structures on spread arrays.
+"""
+
+from __future__ import annotations
+
+from repro.params import WORD_BYTES
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["SpreadArray"]
+
+
+class SpreadArray:
+    """A word-element array spread cyclically over all processors.
+
+    Every SPMD thread must construct the array at the same program
+    point (symmetric allocation).  Indexing returns global pointers;
+    the convenience accessors go through the owning thread's runtime
+    with genuine Split-C reads/writes.
+    """
+
+    def __init__(self, sc, nelems: int):
+        if nelems <= 0:
+            raise ValueError("spread array needs at least one element")
+        self.sc = sc
+        self.nelems = nelems
+        self.num_pes = sc.num_pes
+        per_pe = -(-nelems // self.num_pes)
+        self.base = sc.all_alloc(per_pe * WORD_BYTES)
+        self.per_pe = per_pe
+
+    def owner(self, index: int) -> int:
+        """Processor holding element ``index``."""
+        self._check(index)
+        return index % self.num_pes
+
+    def local_offset(self, index: int) -> int:
+        """Local memory offset of element ``index`` on its owner."""
+        self._check(index)
+        return self.base + (index // self.num_pes) * WORD_BYTES
+
+    def pointer(self, index: int) -> GlobalPtr:
+        """Global pointer to element ``index``."""
+        return GlobalPtr(self.owner(index), self.local_offset(index))
+
+    def read(self, index: int):
+        """Blocking Split-C read of an element."""
+        return self.sc.read(self.pointer(index))
+
+    def write(self, index: int, value) -> None:
+        """Blocking Split-C write of an element."""
+        self.sc.write(self.pointer(index), value)
+
+    def get(self, index: int, local_offset: int) -> None:
+        """Split-phase read of an element into local memory."""
+        self.sc.get(self.pointer(index), local_offset)
+
+    def put(self, index: int, value) -> None:
+        """Split-phase write of an element."""
+        self.sc.put(self.pointer(index), value)
+
+    def my_indices(self):
+        """The element indices owned by the calling processor."""
+        return range(self.sc.my_pe, self.nelems, self.num_pes)
+
+    def bulk_read_range(self, lo: int, hi: int, dst_offset: int) -> None:
+        """Fetch elements ``[lo, hi)`` into local memory, in index
+        order, using one bulk transfer per owning processor.
+
+        The cyclic layout makes each processor's share of the range a
+        contiguous local run, so this is the structure-assignment
+        lowering of section 6.1 applied to an array slice: per-source
+        bulk reads into a staging area, then a local scatter into
+        index order.
+
+        The staging area is a private heap allocation; like any
+        non-collective allocation, calling this on a strict subset of
+        processors leaves the heaps asymmetric for later ``all_alloc``
+        calls.
+        """
+        if not 0 <= lo <= hi <= self.nelems:
+            raise IndexError(f"range [{lo}, {hi}) outside [0, {self.nelems})")
+        if lo == hi:
+            return
+        sc = self.sc
+        count = hi - lo
+        stage = sc.ctx.node.heap.alloc(count * WORD_BYTES)
+        cursor = stage
+        runs = []                      # (pe, first_index, n, stage_off)
+        for pe in range(self.num_pes):
+            first = lo + ((pe - lo) % self.num_pes)
+            if first >= hi:
+                continue
+            n = (hi - first + self.num_pes - 1) // self.num_pes
+            runs.append((pe, first, n, cursor))
+            src = GlobalPtr(pe, self.local_offset(first))
+            sc.bulk_read(cursor, src, n * WORD_BYTES)
+            cursor += n * WORD_BYTES
+        # Scatter from per-source runs into index order.
+        for pe, first, n, stage_off in runs:
+            for k in range(n):
+                index = first + k * self.num_pes
+                value = sc.ctx.local_read(stage_off + k * WORD_BYTES)
+                sc.ctx.local_write(
+                    dst_offset + (index - lo) * WORD_BYTES, value)
+                sc.ctx.charge(sc.ctx.node.alpha.loop_iteration())
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.nelems:
+            raise IndexError(f"index {index} outside [0, {self.nelems})")
+
+    def __len__(self) -> int:
+        return self.nelems

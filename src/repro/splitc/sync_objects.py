@@ -1,0 +1,187 @@
+"""Synchronization objects over the shell atomics (section 7.4's
+toolbox, applied).
+
+The T3D's load-locked/store-conditional pair was consumed by Annex
+manipulation (section 4.5), so mutual exclusion must come from the
+shell: the **atomic swap** between a shell register and memory, and
+the **fetch&increment** registers.  These are the classic
+constructions:
+
+* :class:`SpinLock` — test-and-set via atomic swap, with backoff;
+* :class:`TicketLock` — fair FIFO lock: draw a ticket with
+  fetch&increment, spin on the now-serving word;
+* :class:`WorkQueue` — an N-to-1 task queue (the same shape as the
+  Active-Message request queue): producers draw slots with
+  fetch&increment and store tasks; the owner consumes in order.
+
+All blocking methods are generators (spin loops must yield so other
+SPMD threads can run); costs accumulate from the measured primitives
+(swap/f&i ~1 microsecond remote, stores ~17 cycles, remote reads ~91
+cycles per spin probe).
+"""
+
+from __future__ import annotations
+
+from repro.params import WORD_BYTES
+from repro.simkernel.conditions import TimeCondition
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["SpinLock", "TicketLock", "WorkQueue"]
+
+_UNLOCKED = 0
+_LOCKED = 1
+
+#: Cycles a spinner backs off between probes of a contended word.
+_BACKOFF_CYCLES = 200.0
+
+
+class SpinLock:
+    """Test-and-set lock on a word in the owner's memory.
+
+    Every thread must construct the lock at the same program point
+    (symmetric allocation).  Not fair: a lucky spinner can barge.
+    """
+
+    def __init__(self, sc, owner: int = 0):
+        self.sc = sc
+        self.owner = owner
+        self.addr = sc.all_alloc(WORD_BYTES)
+        if sc.my_pe == owner:
+            sc.ctx.node.memsys.memory.store(self.addr, _UNLOCKED)
+        self.acquisitions = 0
+
+    def acquire(self):
+        """Generator: spin with atomic swaps until the lock is won."""
+        ctx = self.sc.ctx
+        while True:
+            cycles, old = ctx.node.atomics.atomic_swap(
+                ctx.clock, self.owner, self.addr, _LOCKED)
+            ctx.charge(cycles)
+            if old == _UNLOCKED:
+                self.acquisitions += 1
+                return
+            yield TimeCondition(ctx.clock + _BACKOFF_CYCLES)
+
+    def release(self) -> None:
+        """Store the unlocked value back (one non-blocking store)."""
+        ctx = self.sc.ctx
+        cycles, _ = ctx.node.atomics.atomic_swap(
+            ctx.clock, self.owner, self.addr, _UNLOCKED)
+        ctx.charge(cycles)
+
+
+class TicketLock:
+    """Fair FIFO lock: fetch&increment tickets + a now-serving word.
+
+    Uses the owner's fetch&increment register 1 for tickets (register
+    0 is conventionally the AM queue's) and a memory word for
+    now-serving.
+    """
+
+    TICKET_REGISTER = 1
+
+    def __init__(self, sc, owner: int = 0):
+        self.sc = sc
+        self.owner = owner
+        self.serving_addr = sc.all_alloc(WORD_BYTES)
+        if sc.my_pe == owner:
+            sc.ctx.node.atomics.set_register(self.TICKET_REGISTER, 0)
+            sc.ctx.node.memsys.memory.store(self.serving_addr, 0)
+
+    def acquire(self):
+        """Generator: draw a ticket, spin until it is served."""
+        ctx = self.sc.ctx
+        cycles, ticket = ctx.node.atomics.fetch_increment(
+            ctx.clock, self.owner, self.TICKET_REGISTER)
+        ctx.charge(cycles)
+        while True:
+            read_cycles, serving = ctx.node.remote.uncached_read(
+                ctx.clock, self.owner, self.serving_addr)
+            ctx.charge(read_cycles)
+            if serving == ticket:
+                return ticket
+            yield TimeCondition(ctx.clock + _BACKOFF_CYCLES)
+
+    def release(self) -> None:
+        """Advance now-serving (an atomic swap keeps it race-free even
+        against a concurrent reader)."""
+        ctx = self.sc.ctx
+        read_cycles, serving = ctx.node.remote.uncached_read(
+            ctx.clock, self.owner, self.serving_addr)
+        ctx.charge(read_cycles)
+        cycles, _ = ctx.node.atomics.atomic_swap(
+            ctx.clock, self.owner, self.serving_addr, serving + 1)
+        ctx.charge(cycles)
+
+
+class WorkQueue:
+    """N-to-1 task queue owned by one processor.
+
+    Producers draw a slot ticket with fetch&increment (serialization,
+    as in the AM construction) and store the task word plus a sequence
+    flag; the owner polls slots in ticket order.  Capacity is fixed;
+    producers must not outrun the consumer by more than ``slots``.
+    """
+
+    QUEUE_REGISTER = 1
+
+    def __init__(self, sc, owner: int = 0, slots: int = 64):
+        self.sc = sc
+        self.owner = owner
+        self.slots = slots
+        # Each slot: [task word, sequence flag].
+        self.base = sc.all_alloc(slots * 2 * WORD_BYTES)
+        self._next_to_consume = 0
+        if sc.my_pe == owner:
+            sc.ctx.node.atomics.set_register(self.QUEUE_REGISTER, 0)
+            for i in range(slots * 2):
+                sc.ctx.node.memsys.memory.store(
+                    self.base + i * WORD_BYTES, 0)
+
+    def _slot_addr(self, ticket: int) -> int:
+        return self.base + (ticket % self.slots) * 2 * WORD_BYTES
+
+    def push(self, task) -> None:
+        """Producer side: deposit one task (non-blocking stores)."""
+        sc = self.sc
+        ctx = sc.ctx
+        cycles, ticket = ctx.node.atomics.fetch_increment(
+            ctx.clock, self.owner, self.QUEUE_REGISTER)
+        ctx.charge(cycles)
+        slot = self._slot_addr(ticket)
+        if self.owner == sc.my_pe:
+            ctx.local_write(slot, task)
+            ctx.local_write(slot + WORD_BYTES, ticket + 1)
+            ctx.memory_barrier()
+            return
+        index = sc._setup_annex(self.owner)
+        full = sc._full_addr(index, slot)
+        ctx.charge(ctx.node.remote.store(
+            ctx.clock, self.owner, slot, task, full))
+        full = sc._full_addr(index, slot + WORD_BYTES)
+        ctx.charge(ctx.node.remote.store(
+            ctx.clock, self.owner, slot + WORD_BYTES, ticket + 1, full))
+        ctx.memory_barrier()
+
+    def try_pop(self):
+        """Owner side: non-blocking; returns the next task or None."""
+        ctx = self.sc.ctx
+        if self.sc.my_pe != self.owner:
+            raise RuntimeError("only the owner consumes a WorkQueue")
+        ticket = self._next_to_consume
+        slot = self._slot_addr(ticket)
+        flag = ctx.local_read(slot + WORD_BYTES)
+        if flag != ticket + 1:
+            return None
+        task = ctx.local_read(slot)
+        self._next_to_consume += 1
+        return task
+
+    def pop(self):
+        """Owner side: generator; blocks (politely) until a task is
+        available."""
+        while True:
+            task = self.try_pop()
+            if task is not None:
+                return task
+            yield TimeCondition(self.sc.ctx.clock + _BACKOFF_CYCLES)

@@ -1,0 +1,92 @@
+"""Execution traces and ASCII timelines.
+
+With tracing enabled, every Split-C operation records a span
+``(op, start, end)`` on its thread; :func:`render_timeline` draws the
+machine as one row per processor, which makes the temporal structure
+the paper discusses *visible*: barrier skew, the put pipeline running
+ahead of acknowledgements, bulk transfers overlapping compute after a
+split-phase initiation.
+
+    results, runtimes = run_splitc(machine, program, trace=True)
+    print(render_timeline([sc.trace for sc in runtimes]))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import cycles_to_us
+
+__all__ = ["Span", "SpanTrace", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One operation's extent on one thread."""
+
+    op: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SpanTrace:
+    """All spans of one thread, in start order."""
+
+    spans: list = field(default_factory=list)
+
+    def add(self, op: str, start: float, end: float) -> None:
+        self.spans.append(Span(op, start, end))
+
+    def active_at(self, time: float) -> str | None:
+        """The op covering ``time`` (latest-started wins)."""
+        winner = None
+        for span in self.spans:
+            if span.start <= time < span.end:
+                winner = span.op
+        return winner
+
+    @property
+    def end_time(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+
+_GLYPH_ORDER = "rwgpsbBaAmc#@%&*+=~^"
+
+
+def render_timeline(traces, width: int = 72, title: str = "") -> str:
+    """ASCII Gantt: one row per processor, one glyph per op class.
+
+    Idle (untraced) time renders as '.'; the legend maps glyphs back
+    to operation names.
+    """
+    end = max((t.end_time for t in traces), default=0.0)
+    if end <= 0.0:
+        return (title + "\n" if title else "") + "(no spans recorded)"
+    ops: list[str] = []
+    for trace in traces:
+        for span in trace.spans:
+            if span.op not in ops:
+                ops.append(span.op)
+    glyphs = {op: _GLYPH_ORDER[i % len(_GLYPH_ORDER)]
+              for i, op in enumerate(ops)}
+
+    lines = []
+    if title:
+        lines.append(title)
+    step = end / width
+    for pe, trace in enumerate(traces):
+        row = ""
+        for col in range(width):
+            op = trace.active_at((col + 0.5) * step)
+            row += glyphs[op] if op else "."
+        lines.append(f"pe{pe:<3}|{row}|")
+    lines.append(f"     0 .. {end:.0f} cycles ({cycles_to_us(end):.1f} us), "
+                 f"{step:.0f} cycles/column")
+    legend = ", ".join(f"{glyph}={op}" for op, glyph in glyphs.items())
+    lines.append("     " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Integration tests for distributed conjugate gradient."""
+
+import pytest
+
+from repro.apps.cg import _laplacian_matvec, reference_cg, run_cg
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def fresh_machine(shape=(2, 2, 1)):
+    return Machine(t3d_machine_params(shape))
+
+
+def test_converges_to_known_solution():
+    from random import Random
+    result = run_cg(fresh_machine(), rows_per_pe=8, seed=7)
+    rng = Random(7)
+    x_true = [rng.uniform(-1.0, 1.0) for _ in range(32)]
+    assert result.residual < 1e-9
+    for got, want in zip(result.x, x_true):
+        assert got == pytest.approx(want, abs=1e-7)
+
+
+def test_matches_sequential_cg():
+    result = run_cg(fresh_machine(), rows_per_pe=6, seed=3)
+    from random import Random
+    rng = Random(3)
+    x_true = [rng.uniform(-1.0, 1.0) for _ in range(24)]
+    b = _laplacian_matvec(x_true)
+    x_ref, iters_ref = reference_cg(b)
+    for got, want in zip(result.x, x_ref):
+        assert got == pytest.approx(want, abs=1e-7)
+    # Same iteration count: the distributed arithmetic is identical.
+    assert result.iterations == iters_ref
+
+
+def test_cg_iteration_bound():
+    """Exact-arithmetic CG finishes in at most N steps; floating point
+    stays close for the Laplacian."""
+    n = 16
+    result = run_cg(fresh_machine((2, 1, 1)), rows_per_pe=8)
+    assert result.iterations <= 2 * n
+
+
+def test_eight_pes():
+    result = run_cg(fresh_machine((2, 2, 2)), rows_per_pe=4, seed=11)
+    assert result.residual < 1e-9
+    assert len(result.x) == 32
+
+
+def test_timing_positive_and_scales_with_problem():
+    small = run_cg(fresh_machine(), rows_per_pe=4)
+    large = run_cg(fresh_machine(), rows_per_pe=16)
+    assert 0 < small.total_cycles < large.total_cycles
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_cg(fresh_machine(), rows_per_pe=1)

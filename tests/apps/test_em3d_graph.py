@@ -1,0 +1,88 @@
+"""Unit tests for EM3D graph generation and communication plans."""
+
+import pytest
+
+from repro.apps.em3d.graph import initial_values, make_graph
+
+
+def test_shapes():
+    g = make_graph(num_pes=4, nodes_per_pe=10, degree=3,
+                   remote_fraction=0.5)
+    assert len(g.e_adj) == 4
+    assert all(len(nodes) == 10 for nodes in g.e_adj)
+    assert all(len(edges) == 3 for nodes in g.h_adj for edges in nodes)
+    assert g.edges_per_pe == 2 * 10 * 3
+
+
+def test_deterministic_in_seed():
+    a = make_graph(2, 5, 2, 0.3, seed=9)
+    b = make_graph(2, 5, 2, 0.3, seed=9)
+    c = make_graph(2, 5, 2, 0.3, seed=10)
+    assert a.e_adj == b.e_adj and a.h_adj == b.h_adj
+    assert a.e_adj != c.e_adj
+
+
+def test_remote_fraction_zero_is_all_local():
+    g = make_graph(4, 8, 3, 0.0)
+    assert g.remote_edge_fraction() == 0.0
+
+
+def test_remote_fraction_tracks_request():
+    g = make_graph(8, 50, 10, 0.4, seed=2)
+    assert g.remote_edge_fraction() == pytest.approx(0.4, abs=0.05)
+
+
+def test_remote_fraction_one_has_no_local_edges():
+    g = make_graph(4, 10, 3, 1.0)
+    for adj in (g.e_adj, g.h_adj):
+        for pe, nodes in enumerate(adj):
+            for edges in nodes:
+                assert all(owner != pe for owner, _i, _w in edges)
+
+
+def test_plan_covers_every_remote_edge():
+    g = make_graph(4, 10, 3, 0.5, seed=5)
+    for adj, plan in ((g.e_adj, g.e_plan), (g.h_adj, g.h_plan)):
+        for consumer in range(4):
+            for edges in adj[consumer]:
+                for owner, idx, _w in edges:
+                    if owner != consumer:
+                        assert (owner, idx) in plan.ghost_slot[consumer]
+                        assert idx in plan.needed[consumer][owner]
+
+
+def test_plan_slots_contiguous_per_source():
+    g = make_graph(4, 20, 4, 0.7, seed=5)
+    plan = g.e_plan
+    for consumer in range(4):
+        for src in plan.needed[consumer]:
+            base = plan.slot_base(consumer, src)
+            idxs = plan.needed[consumer][src]
+            slots = [plan.ghost_slot[consumer][(src, idx)] for idx in idxs]
+            assert slots == list(range(base, base + len(idxs)))
+
+
+def test_plan_ghosts_are_distinct_values():
+    g = make_graph(4, 10, 5, 0.8, seed=5)
+    for consumer in range(4):
+        slots = list(g.e_plan.ghost_slot[consumer].values())
+        assert len(slots) == len(set(slots))
+        assert g.e_plan.ghost_count(consumer) == len(slots)
+
+
+def test_initial_values_deterministic_and_distinct():
+    g = make_graph(2, 5, 2, 0.0)
+    e1 = initial_values(g, "e", seed=3)
+    e2 = initial_values(g, "e", seed=3)
+    h1 = initial_values(g, "h", seed=3)
+    assert e1 == e2
+    assert e1 != h1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_graph(0, 10, 3, 0.0)
+    with pytest.raises(ValueError):
+        make_graph(2, 10, 3, 1.5)
+    with pytest.raises(ValueError):
+        make_graph(1, 10, 3, 0.5)      # remote edges need >= 2 PEs

@@ -1,0 +1,117 @@
+"""Integration tests for the six EM3D versions (paper section 8)."""
+
+import pytest
+
+from repro.apps.em3d import VERSIONS, make_graph, run_em3d
+from repro.apps.em3d.graph import initial_values
+from repro.apps.em3d.reference import reference_run
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+STEPS = 2
+WARMUP = 1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_graph(num_pes=4, nodes_per_pe=24, degree=4,
+                      remote_fraction=0.35, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    e0 = initial_values(graph, "e")
+    h0 = initial_values(graph, "h")
+    return reference_run(graph, e0, h0, steps=STEPS + WARMUP)
+
+
+def fresh_machine():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_version_matches_reference(graph, reference, version):
+    ref_e, ref_h = reference
+    result = run_em3d(fresh_machine(), graph, version,
+                      steps=STEPS, warmup_steps=WARMUP)
+    for pe in range(graph.num_pes):
+        for i in range(graph.nodes_per_pe):
+            assert result.e_values[pe][i] == pytest.approx(ref_e[pe][i])
+            assert result.h_values[pe][i] == pytest.approx(ref_h[pe][i])
+
+
+def test_figure9_ordering():
+    """The optimization ladder of Figure 9 at a mixed remote fraction:
+    ghosts beat simple, pipelining beats blocking, puts beat gets,
+    bulk is best.
+
+    Uses a larger graph than the correctness tests: the put version's
+    advantage is barrier-gated, so it needs per-processor send counts
+    balanced enough (as the paper's 500-node, degree-20 graphs are)
+    not to drown in load-imbalance noise.
+    """
+    big = make_graph(num_pes=4, nodes_per_pe=80, degree=8,
+                     remote_fraction=0.35, seed=11)
+    times = {
+        v: run_em3d(fresh_machine(), big, v,
+                    steps=STEPS, warmup_steps=WARMUP).us_per_edge
+        for v in VERSIONS
+    }
+    assert times["bundle"] < times["simple"]
+    assert times["unroll"] <= times["bundle"]
+    assert times["get"] < times["unroll"]
+    assert times["put"] < times["get"]
+    assert times["bulk"] < times["put"]
+
+
+def test_all_local_versions_converge():
+    """With no remote edges the versions differ only in compute-phase
+    code quality (the left edge of Figure 9)."""
+    local = make_graph(num_pes=4, nodes_per_pe=24, degree=4,
+                       remote_fraction=0.0, seed=11)
+    times = {
+        v: run_em3d(fresh_machine(), local, v,
+                    steps=1, warmup_steps=1).us_per_edge
+        for v in ("simple", "bundle", "bulk")
+    }
+    assert times["simple"] == pytest.approx(times["bundle"], rel=0.15)
+    assert times["bulk"] <= times["bundle"]
+
+
+def test_cost_grows_with_remote_fraction():
+    times = []
+    for frac in (0.0, 0.3, 0.8):
+        g = make_graph(num_pes=4, nodes_per_pe=24, degree=4,
+                       remote_fraction=frac, seed=11)
+        times.append(run_em3d(fresh_machine(), g, "get",
+                              steps=1, warmup_steps=1).us_per_edge)
+    assert times[0] < times[1] < times[2]
+
+
+def test_result_metadata(graph):
+    result = run_em3d(fresh_machine(), graph, "put",
+                      steps=STEPS, warmup_steps=WARMUP)
+    assert result.version == "put"
+    assert len(result.per_pe_cycles_per_edge) == 4
+    assert result.us_per_edge == pytest.approx(
+        result.cycles_per_edge / 150.0, rel=1e-6)
+
+
+def test_unknown_version_rejected(graph):
+    with pytest.raises(ValueError):
+        run_em3d(fresh_machine(), graph, "warp-speed")
+
+
+def test_sweep_driver_structure():
+    from repro.apps.em3d.driver import sweep
+
+    points = sweep(fractions=(0.0, 0.4), versions=("simple", "bulk"),
+                   nodes_per_pe=20, degree=3, shape=(2, 1, 1))
+    assert len(points) == 4
+    assert [p.version for p in points] == ["simple", "bulk"] * 2
+    # Realized fraction tracks the request.
+    assert points[0].realized_fraction == 0.0
+    assert points[2].realized_fraction == pytest.approx(0.4, abs=0.15)
+    # More communication costs more, for both versions.
+    assert points[2].us_per_edge > points[0].us_per_edge
+    assert points[3].us_per_edge > points[1].us_per_edge

@@ -1,0 +1,55 @@
+"""Robustness of the Figure 9 claims across graph randomness.
+
+The headline orderings should not be a property of one lucky seed:
+across several synthetic graphs, ghost versions beat Simple, the
+pipelined versions beat blocking ghost fills, and Bulk wins.
+(Put-vs-get is barrier-gated and needs balanced graphs — asserted only
+on aggregate, not per seed.)
+"""
+
+import pytest
+
+from repro.apps.em3d import make_graph, run_em3d
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+SEEDS = (1, 2026, 777)
+VERSIONS = ("simple", "bundle", "get", "put", "bulk")
+
+
+def times_for(seed):
+    graph = make_graph(num_pes=4, nodes_per_pe=60, degree=6,
+                       remote_fraction=0.4, seed=seed)
+    out = {}
+    for version in VERSIONS:
+        machine = Machine(t3d_machine_params((2, 2, 1)))
+        out[version] = run_em3d(machine, graph, version,
+                                steps=1, warmup_steps=1).us_per_edge
+    return out
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {seed: times_for(seed) for seed in SEEDS}
+
+
+def test_ghosts_beat_simple_for_every_seed(sweeps):
+    for seed, times in sweeps.items():
+        assert times["bundle"] < times["simple"] * 1.02, seed
+
+
+def test_pipelining_beats_blocking_for_every_seed(sweeps):
+    for seed, times in sweeps.items():
+        assert times["get"] < times["bundle"], seed
+
+
+def test_bulk_wins_for_every_seed(sweeps):
+    for seed, times in sweeps.items():
+        others = [times[v] for v in VERSIONS if v != "bulk"]
+        assert times["bulk"] < min(others), seed
+
+
+def test_put_beats_get_on_aggregate(sweeps):
+    put = sum(times["put"] for times in sweeps.values())
+    get = sum(times["get"] for times in sweeps.values())
+    assert put < get

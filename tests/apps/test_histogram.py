@@ -1,0 +1,53 @@
+"""Integration tests for the AM histogram (section 7.4 in use)."""
+
+import pytest
+
+from repro.apps.histogram import run_histogram
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def fresh_machine():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+def test_am_histogram_is_exact():
+    result = run_histogram(fresh_machine(), num_bins=16,
+                           samples_per_pe=40, method="am")
+    assert result.lost_updates == 0
+    assert result.total_counted == result.total_samples == 160
+
+
+def test_am_histogram_matches_serial_count():
+    from random import Random
+    result = run_histogram(fresh_machine(), num_bins=8,
+                           samples_per_pe=25, method="am", seed=7)
+    expected = [0] * 8
+    for pe in range(4):
+        rng = Random(7 + pe)
+        for _ in range(25):
+            expected[rng.randrange(8)] += 1
+    assert result.bins == expected
+
+
+def test_racy_histogram_loses_updates():
+    """The unsynchronized read-modify-write drops increments whenever
+    two processors touch one bin in the same window — the word-level
+    twin of the section 4.5 byte-write hazard."""
+    result = run_histogram(fresh_machine(), num_bins=4,
+                           samples_per_pe=40, method="racy")
+    assert result.lost_updates > 0
+    assert result.total_counted < result.total_samples
+
+
+def test_more_contention_loses_more():
+    few_bins = run_histogram(fresh_machine(), num_bins=2,
+                             samples_per_pe=32, method="racy")
+    many_bins = run_histogram(fresh_machine(), num_bins=64,
+                              samples_per_pe=32, method="racy")
+    assert few_bins.lost_updates > many_bins.lost_updates
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_histogram(fresh_machine(), method="hope")

@@ -1,0 +1,70 @@
+"""Integration tests for distributed sample sort."""
+
+from random import Random
+
+import pytest
+
+from repro.apps.samplesort import METHODS, run_sample_sort
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def fresh_machine(shape=(2, 2, 1)):
+    return Machine(t3d_machine_params(shape))
+
+
+def expected_keys(num_pes, keys_per_pe, seed=1995):
+    keys = []
+    for pe in range(num_pes):
+        rng = Random(seed + pe)
+        keys.extend(rng.randrange(1_000_000) for _ in range(keys_per_pe))
+    return sorted(keys)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_sorts_globally(method):
+    result = run_sample_sort(fresh_machine(), keys_per_pe=40,
+                             method=method)
+    assert result.sorted_keys == expected_keys(4, 40)
+
+
+def test_segments_are_ordered_across_pes():
+    result = run_sample_sort(fresh_machine(), keys_per_pe=50)
+    # The concatenation is globally sorted, so PE p's max <= p+1's min.
+    assert result.sorted_keys == sorted(result.sorted_keys)
+    assert sum(result.per_pe_counts) == 200
+
+
+def test_splitters_balance_reasonably():
+    result = run_sample_sort(fresh_machine(), keys_per_pe=100,
+                             oversample=8)
+    # With decent oversampling no processor gets more than ~2.5x its
+    # fair share.
+    fair = 100
+    assert max(result.per_pe_counts) < 2.5 * fair
+
+
+def test_bulk_beats_element_exchange():
+    bulk = run_sample_sort(fresh_machine(), keys_per_pe=64,
+                           method="bulk")
+    element = run_sample_sort(fresh_machine(), keys_per_pe=64,
+                              method="element")
+    assert bulk.total_cycles < element.total_cycles
+    assert bulk.sorted_keys == element.sorted_keys
+
+
+def test_works_on_eight_pes():
+    result = run_sample_sort(fresh_machine((2, 2, 2)), keys_per_pe=24)
+    assert result.sorted_keys == expected_keys(8, 24)
+
+
+def test_single_key_per_pe():
+    result = run_sample_sort(fresh_machine(), keys_per_pe=1)
+    assert result.sorted_keys == expected_keys(4, 1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_sample_sort(fresh_machine(), method="bogo")
+    with pytest.raises(ValueError):
+        run_sample_sort(fresh_machine(), keys_per_pe=0)

@@ -1,0 +1,51 @@
+"""Integration tests for the distributed transpose."""
+
+import pytest
+
+from repro.apps.transpose import STRATEGIES, run_transpose
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+
+def fresh_machine(shape=(2, 2, 1)):
+    return Machine(t3d_machine_params(shape))
+
+
+def expected(n):
+    return [[float(c * n + r) for c in range(n)] for r in range(n)]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_transpose_correct(strategy):
+    n = 8
+    result = run_transpose(fresh_machine(), n, strategy)
+    assert result.matrix == expected(n)
+
+
+def test_bulk_beats_reads():
+    n = 16
+    reads = run_transpose(fresh_machine(), n, "reads")
+    bulk = run_transpose(fresh_machine(), n, "bulk")
+    assert bulk.total_cycles < reads.total_cycles
+
+
+def test_blt_everywhere_pays_startup_on_small_tiles():
+    n = 16          # 4-word tile rows: far below the BLT crossover
+    bulk = run_transpose(fresh_machine(), n, "bulk")
+    blt = run_transpose(fresh_machine(), n, "blt")
+    assert blt.total_cycles > 5 * bulk.total_cycles
+
+
+def test_self_tile_is_local_copy():
+    machine = fresh_machine((2, 1, 1))
+    result = run_transpose(machine, 4, "bulk")
+    assert result.matrix == expected(4)
+    # No BLT was needed for these tiny tiles.
+    assert machine.node(0).blt.transfers_started == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_transpose(fresh_machine(), 10, "bulk")   # not divisible
+    with pytest.raises(ValueError):
+        run_transpose(fresh_machine(), 8, "teleport")

@@ -1,0 +1,78 @@
+"""Unit tests for Node internals: heap, arrival log, reset."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.machine.node import HeapAllocator
+from repro.params import t3d_machine_params
+
+
+@pytest.fixture
+def node():
+    return Machine(t3d_machine_params((2, 1, 1))).node(0)
+
+
+def test_heap_never_returns_null():
+    heap = HeapAllocator()
+    assert heap.alloc(8) >= 0x1000
+
+
+def test_heap_alignment():
+    heap = HeapAllocator()
+    heap.alloc(3)
+    addr = heap.alloc(8, align=64)
+    assert addr % 64 == 0
+
+
+def test_heap_rejects_bad_args():
+    heap = HeapAllocator()
+    with pytest.raises(ValueError):
+        heap.alloc(0)
+    with pytest.raises(ValueError):
+        heap.alloc(8, align=3)
+
+
+def test_arrival_log_cumulative(node):
+    node.record_store_arrival(8, arrival_time=100.0)
+    node.record_store_arrival(16, arrival_time=50.0)   # out of order
+    node.record_store_arrival(8, arrival_time=200.0)
+    assert node.bytes_arrived_total() == 32
+    assert node.time_when_bytes_arrived(8) == 50.0
+    assert node.time_when_bytes_arrived(16) == 50.0
+    assert node.time_when_bytes_arrived(24) == 100.0
+    assert node.time_when_bytes_arrived(32) == 200.0
+    assert node.time_when_bytes_arrived(0) == 0.0
+
+
+def test_arrival_log_insufficient_bytes_raises(node):
+    node.record_store_arrival(8, 10.0)
+    with pytest.raises(RuntimeError):
+        node.time_when_bytes_arrived(9)
+
+
+def test_node_reset_clears_log_and_state(node):
+    node.record_store_arrival(8, 10.0)
+    node.memsys.l1.fill(0)
+    node.reset()
+    assert node.bytes_arrived_total() == 0
+    assert node.memsys.l1.resident_lines == 0
+
+
+def test_symmetric_alloc_agrees_across_nodes():
+    machine = Machine(t3d_machine_params((2, 2, 1)))
+    a = machine.symmetric_alloc(64)
+    b = machine.symmetric_alloc(128)
+    assert b >= a + 64
+
+
+def test_symmetric_alloc_detects_divergence():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    machine.node(0).heap.alloc(8)        # diverge one node's heap
+    with pytest.raises(RuntimeError):
+        machine.symmetric_alloc(64)
+
+
+def test_machine_node_bounds():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    with pytest.raises(ValueError):
+        machine.node(2)

@@ -1,0 +1,153 @@
+"""Unit tests for the simulation kernel: conditions and scheduler
+edge cases beyond what the SPMD integration tests cover."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.simkernel.conditions import TimeCondition
+from repro.simkernel.scheduler import SpmdScheduler
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_time_condition_resume_semantics():
+    cond = TimeCondition(100.0)
+    assert cond.ready()
+    assert cond.resume_time(50.0) == 100.0
+    assert cond.resume_time(200.0) == 200.0
+
+
+def test_time_condition_as_polite_spin(machine):
+    """Yielding TimeConditions lets other threads interleave."""
+    trace = []
+
+    def program(ctx):
+        for i in range(3):
+            trace.append((ctx.pe, i, ctx.clock))
+            yield TimeCondition(ctx.clock + 100.0)
+        return ctx.clock
+
+    results, _ = machine.run_spmd(program)
+    assert all(r == pytest.approx(300.0) for r in results)
+    # Rounds interleave: both PEs appear in each 100-cycle window.
+    rounds = [sorted(pe for pe, i, _t in trace if i == k)
+              for k in range(3)]
+    assert rounds == [[0, 1]] * 3
+
+
+def test_scheduler_runs_min_clock_first(machine):
+    order = []
+
+    def program(ctx):
+        ctx.charge(10.0 if ctx.pe == 1 else 1000.0)
+        yield TimeCondition(ctx.clock)
+        order.append(ctx.pe)
+        return None
+
+    machine.run_spmd(program)
+    assert order == [1, 0]          # smaller clock resumed first
+
+
+def test_program_arguments_forwarded(machine):
+    def program(ctx, base, scale=1):
+        return base + scale * ctx.pe
+        yield  # pragma: no cover
+
+    results, _ = machine.run_spmd(program, 100, scale=10)
+    assert results == [100, 110]
+
+
+def test_yielding_non_condition_rejected(machine):
+    def program(ctx):
+        yield 42
+
+    with pytest.raises(TypeError):
+        machine.run_spmd(program)
+
+
+def test_exception_in_thread_propagates(machine):
+    def program(ctx):
+        if ctx.pe == 1:
+            raise ValueError("thread blew up")
+        return "fine"
+        yield  # pragma: no cover
+
+    with pytest.raises(ValueError, match="thread blew up"):
+        machine.run_spmd(program)
+
+
+def test_single_pe_machine_runs():
+    machine = Machine(t3d_machine_params((1, 1, 1)))
+
+    def program(ctx):
+        yield from ctx.barrier()
+        return ctx.pe
+
+    results, _ = machine.run_spmd(program)
+    assert results == [0]
+
+
+def test_scheduler_settles_before_declaring_deadlock(machine):
+    """A receiver blocked on bytes whose sender already scheduled the
+    drain (but never flushed) must be rescued by settle()."""
+
+    def program(ctx):
+        if ctx.pe == 0:
+            full = ctx.node.annex.compose_address(1, 0x40)
+            ctx.node.annex.set_entry(1, 1)
+            ctx.charge(23.0)
+            ctx.charge(ctx.node.remote.store(ctx.clock, 1, 0x40, "v", full))
+            # No mb, no further memory ops: the entry sits pending.
+            return "sent"
+        yield from ctx.wait_for_bytes(8)
+        return ctx.node.memsys.memory.load if False else "got"
+
+    results, _ = machine.run_spmd(program)
+    assert results == ["sent", "got"]
+
+
+def test_scheduler_is_reusable(machine):
+    scheduler = SpmdScheduler(machine)
+
+    def program(ctx):
+        yield from ctx.barrier()
+        return ctx.pe
+
+    first = scheduler.run(machine.make_contexts(), program)
+    second = scheduler.run(machine.make_contexts(), program)
+    assert first == second == [0, 1]
+
+
+def test_deadlock_message_is_diagnostic(machine):
+    from repro.simkernel.scheduler import DeadlockError
+
+    def program(ctx):
+        if ctx.pe == 0:
+            return "done"
+        yield from ctx.barrier()
+
+    with pytest.raises(DeadlockError) as excinfo:
+        machine.run_spmd(program)
+    message = str(excinfo.value)
+    assert "pe1" in message
+    assert "BarrierCondition" in message
+    assert "1/2 arrived" in message
+    assert "already finished" in message
+
+
+def test_deadlock_message_shows_byte_progress(machine):
+    from repro.simkernel.scheduler import DeadlockError
+
+    def program(ctx):
+        if ctx.pe == 0:
+            yield from ctx.wait_for_bytes(1_000_000)
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(DeadlockError) as excinfo:
+        machine.run_spmd(program)
+    assert "0/1000000 bytes" in str(excinfo.value)

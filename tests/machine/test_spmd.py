@@ -1,0 +1,143 @@
+"""Integration tests for the SPMD scheduler + machine fabric."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.simkernel.scheduler import DeadlockError
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+def test_trivial_program_returns_per_pe(machine):
+    def program(ctx):
+        ctx.charge(10.0 * ctx.pe)
+        return ctx.pe * 100
+        yield  # makes this a generator
+
+    results, contexts = machine.run_spmd(program)
+    assert results == [0, 100, 200, 300]
+    assert [c.clock for c in contexts] == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_barrier_aligns_clocks(machine):
+    def program(ctx):
+        ctx.charge(1_000.0 * ctx.pe)       # skewed arrival
+        yield from ctx.barrier()
+        return ctx.clock
+
+    results, _ = machine.run_spmd(program)
+    # Everyone exits at (last arrival + propagate + poll) + end cost;
+    # exits differ only by when each PE polls (same here).
+    assert max(results) - min(results) < 1e-9
+    assert min(results) >= 3_000.0
+
+
+def test_multiple_barriers(machine):
+    def program(ctx):
+        times = []
+        for _ in range(3):
+            ctx.charge(100.0 + ctx.pe)
+            yield from ctx.barrier()
+            times.append(ctx.clock)
+        return times
+
+    results, _ = machine.run_spmd(program)
+    for step in range(3):
+        step_times = [r[step] for r in results]
+        assert max(step_times) - min(step_times) < 1e-9
+
+
+def test_store_sync_pattern(machine):
+    """PE 0 waits for 16 bytes; every other PE stores two words to it."""
+
+    def program(ctx):
+        if ctx.pe == 0:
+            yield from ctx.wait_for_bytes(16)
+            return ctx.node.bytes_arrived_total()
+        if ctx.pe in (1, 2):
+            full = ctx.node.annex.compose_address(1, 0x100 + 8 * ctx.pe)
+            ctx.node.annex.set_entry(1, 0)
+            ctx.charge(23.0)
+            ctx.charge(ctx.node.remote.store(
+                ctx.clock, 0, 0x100 + 8 * ctx.pe, ctx.pe, full))
+        return None
+        yield  # pragma: no cover
+
+    results, contexts = machine.run_spmd(program)
+    assert results[0] >= 16
+    # The receiver's clock advanced to at least the arrival time.
+    assert contexts[0].clock > 17.0
+
+
+def test_message_send_receive(machine):
+    def program(ctx):
+        if ctx.pe == 1:
+            ctx.charge(ctx.node.msgq.send(ctx.clock, 0, ("ping", ctx.pe)))
+            return "sent"
+        if ctx.pe == 0:
+            yield from ctx.wait_message()
+            cycles, msg = ctx.node.msgq.receive(ctx.clock)
+            ctx.charge(cycles)
+            return msg.payload
+        return None
+        yield  # pragma: no cover
+
+    results, contexts = machine.run_spmd(program)
+    assert results[0] == ("ping", 1)
+    # Receiver paid the ~25 us interrupt: 3750 cycles.
+    assert contexts[0].clock > 3_750.0
+
+
+def test_deadlock_detected(machine):
+    def program(ctx):
+        if ctx.pe == 0:
+            return "skipped the barrier"
+        yield from ctx.barrier()
+
+    with pytest.raises(DeadlockError):
+        machine.run_spmd(program)
+
+
+def test_non_generator_program_rejected(machine):
+    def not_a_generator(ctx):
+        return 1
+
+    with pytest.raises(TypeError):
+        machine.run_spmd(not_a_generator)
+
+
+def test_fuzzy_barrier_window(machine):
+    """Work placed between start and wait overlaps the barrier."""
+
+    def program(ctx):
+        epoch = yield from ctx.barrier_start()
+        ctx.charge(500.0)                  # useful work in the window
+        yield from ctx.barrier_wait(epoch)
+        return ctx.clock
+
+    results, _ = machine.run_spmd(program)
+    # The 500-cycle window is absorbed into the wait (everyone arrives
+    # by ~5 cycles; settle at 30; the work ends at 505 > settle).
+    assert max(results) == pytest.approx(505.0 + 5.0 + 5.0, abs=1.0)
+
+
+def test_settle_commits_scheduled_drains(machine):
+    node0 = machine.node(0)
+    full = node0.annex.compose_address(1, 0x40)
+    node0.remote.store(0.0, 1, 0x40, "v", full)
+    assert machine.node(1).memsys.memory.load(0x40) == 0
+    machine.settle()
+    assert machine.node(1).memsys.memory.load(0x40) == "v"
+
+
+def test_machine_reset(machine):
+    machine.node(0).memsys.memory.store(0, 1)
+    machine.node(0).memsys.l1.fill(0)
+    machine.reset()
+    assert machine.node(0).memsys.l1.resident_lines == 0
+    # reset clears hardware state, not memory contents
+    assert machine.node(0).memsys.memory.load(0) == 1

@@ -1,0 +1,108 @@
+"""The gray-box analyzer recovers the paper's Figure 1/2 findings."""
+
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.analyze import analyze_read_curves, analyze_write_curves
+from repro.microbench.harness import default_sizes
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def t3d_profile():
+    curves = probes.local_read_probe(t3d_memory_system(),
+                                     sizes=default_sizes(hi=512 * KB))
+    return analyze_read_curves(curves)
+
+
+@pytest.fixture(scope="module")
+def ws_profile():
+    curves = probes.local_read_probe(
+        workstation_memory_system(),
+        sizes=default_sizes(hi=2048 * KB),
+        min_footprint=2048 * KB)
+    return analyze_read_curves(curves)
+
+
+def test_t3d_l1_geometry(t3d_profile):
+    assert t3d_profile.hit_cycles == pytest.approx(1.0)
+    assert t3d_profile.l1_size == 8 * KB
+    assert t3d_profile.line_bytes == 32
+    assert t3d_profile.direct_mapped
+
+
+def test_t3d_memory_time(t3d_profile):
+    assert t3d_profile.memory_cycles == pytest.approx(22.0, abs=1.0)
+
+
+def test_t3d_has_no_l2(t3d_profile):
+    assert not t3d_profile.has_l2
+
+
+def test_t3d_dram_page_rise_not_tlb(t3d_profile):
+    """Section 2.2's key inference: the 16 KB-stride rise is DRAM
+    paging, because a TLB explanation would imply a ~2-entry TLB."""
+    assert t3d_profile.dram_page_rise_stride == 16 * KB
+    assert not t3d_profile.tlb_visible
+
+
+def test_t3d_worst_case_same_bank(t3d_profile):
+    assert t3d_profile.worst_case_cycles == pytest.approx(40.0, abs=1.0)
+
+
+def test_workstation_l2_detected(ws_profile):
+    assert ws_profile.has_l2
+    assert ws_profile.l2_size == 512 * KB
+    assert ws_profile.l2_cycles == pytest.approx(10.0, abs=1.0)
+
+
+def test_workstation_memory_slower(ws_profile):
+    assert ws_profile.memory_cycles == pytest.approx(45.0, abs=1.5)
+
+
+def test_workstation_tlb_page_size(ws_profile):
+    assert ws_profile.tlb_visible
+    assert ws_profile.tlb_page_bytes == 8 * KB
+    assert ws_profile.dram_page_rise_stride is None
+
+
+def test_write_analysis_recovers_buffer():
+    read_profile = analyze_read_curves(
+        probes.local_read_probe(t3d_memory_system(),
+                                sizes=default_sizes(hi=256 * KB)))
+    curves = probes.local_write_probe(t3d_memory_system(),
+                                      sizes=default_sizes(hi=256 * KB))
+    profile = analyze_write_curves(curves, read_profile.memory_cycles)
+    assert profile.write_merging
+    assert profile.buffer_depth == 4
+    assert profile.merged_cycles == pytest.approx(3.0, abs=0.5)
+
+
+def test_analyze_empty_raises():
+    from repro.microbench.harness import LatencyCurves
+    with pytest.raises(ValueError):
+        analyze_read_curves(LatencyCurves())
+
+
+def test_write_analysis_recovers_merge_reach():
+    """The merge granularity seen from the store side is the 32-byte
+    line size (section 2.3)."""
+    curves = probes.local_write_probe(t3d_memory_system(),
+                                      sizes=default_sizes(hi=128 * KB))
+    profile = analyze_write_curves(curves, memory_cycles=22.0)
+    assert profile.merge_reach_bytes == 32
+
+
+def test_merge_reach_tracks_wider_lines():
+    import dataclasses
+    from repro.node.memsys import MemorySystem
+    from repro.params import CacheParams, t3d_node_params
+
+    params = dataclasses.replace(
+        t3d_node_params(), l1=CacheParams(line_bytes=64))
+    ms = MemorySystem(params)
+    curves = probes.local_write_probe(ms, sizes=default_sizes(hi=128 * KB))
+    profile = analyze_write_curves(curves, memory_cycles=22.0)
+    assert profile.merge_reach_bytes == 64

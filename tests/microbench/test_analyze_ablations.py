@@ -1,0 +1,70 @@
+"""The gray-box analyzer characterizes machines it was never tuned
+for — hypothetical nodes with different cache geometry.  This is the
+real test of the methodology (section 2.1): the probes infer structure
+from behavior, not from knowing the answer.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.microbench import probes
+from repro.microbench.analyze import analyze_read_curves
+from repro.microbench.harness import default_sizes
+from repro.node.memsys import MemorySystem
+from repro.params import CacheParams, t3d_node_params
+
+KB = 1024
+
+
+def memsys_with_l1(**cache_overrides):
+    base = t3d_node_params()
+    l1 = dataclasses.replace(CacheParams(), **cache_overrides)
+    return MemorySystem(dataclasses.replace(base, l1=l1))
+
+
+def profile_of(ms, lo=4 * KB, hi=256 * KB):
+    curves = probes.local_read_probe(ms, sizes=default_sizes(lo, hi))
+    return analyze_read_curves(curves)
+
+
+def test_two_way_cache_not_flagged_direct_mapped():
+    profile = profile_of(memsys_with_l1(associativity=2))
+    assert not profile.direct_mapped
+    assert profile.l1_size == 8 * KB
+
+
+def test_four_way_cache_not_flagged_direct_mapped():
+    profile = profile_of(memsys_with_l1(associativity=4))
+    assert not profile.direct_mapped
+
+
+def test_larger_cache_size_recovered():
+    profile = profile_of(memsys_with_l1(size_bytes=32 * KB))
+    assert profile.l1_size == 32 * KB
+
+
+def test_smaller_cache_size_recovered():
+    # The probe range must start below the cache under test, just as
+    # the paper's probes started well below the expected 8 KB.
+    profile = profile_of(memsys_with_l1(size_bytes=2 * KB), lo=1 * KB)
+    assert profile.l1_size == 2 * KB
+
+
+def test_wider_lines_recovered():
+    profile = profile_of(memsys_with_l1(line_bytes=64))
+    assert profile.line_bytes == 64
+
+
+def test_narrower_lines_recovered():
+    profile = profile_of(memsys_with_l1(line_bytes=16))
+    assert profile.line_bytes == 16
+
+
+def test_memory_time_tracks_dram_params():
+    import repro.params as P
+    base = t3d_node_params()
+    slow = dataclasses.replace(
+        base, dram=dataclasses.replace(P.DramParams(), access_cycles=50.0))
+    profile = profile_of(MemorySystem(slow))
+    assert profile.memory_cycles == pytest.approx(50.0, abs=2.0)

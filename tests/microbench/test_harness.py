@@ -1,0 +1,109 @@
+"""Unit tests for the probe harness."""
+
+import pytest
+
+from repro.microbench.harness import (
+    LatencyCurves,
+    ProbePoint,
+    default_sizes,
+    default_strides,
+    run_stride_probe,
+)
+
+KB = 1024
+
+
+def test_default_sizes_powers_of_two():
+    sizes = default_sizes(4 * KB, 64 * KB)
+    assert sizes == [4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB]
+
+
+def test_default_strides_up_to_half_size():
+    strides = default_strides(64)
+    assert strides == [8, 16, 32]
+
+
+def test_probe_counts_and_averages():
+    calls = []
+
+    def access(now, addr):
+        calls.append(addr)
+        return 10.0
+
+    curves = run_stride_probe(access, sizes=[64], warmup_passes=1,
+                              measure_passes=2)
+    point = curves.at(64, 8)
+    assert point.avg_cycles == 10.0
+    assert point.accesses == 16            # 8 addrs x 2 passes
+    # warmup + measured: 8 * 3 calls at stride 8, plus strides 16, 32.
+    assert len(calls) == 8 * 3 + 4 * 3 + 2 * 3
+
+
+def test_warmup_excluded_from_average():
+    state = {"n": 0}
+
+    def access(now, addr):
+        state["n"] += 1
+        return 100.0 if state["n"] <= 4 else 1.0   # cold then warm
+
+    curves = run_stride_probe(access, sizes=[32], warmup_passes=1,
+                              measure_passes=1)
+    assert curves.at(32, 8).avg_cycles == 1.0
+
+
+def test_reset_called_per_point():
+    resets = []
+
+    def access(now, addr):
+        return 1.0
+
+    run_stride_probe(access, sizes=[64], reset_fn=lambda: resets.append(1))
+    assert len(resets) == 3                 # strides 8, 16, 32
+
+
+def test_truncation_cap():
+    counts = []
+
+    def access(now, addr):
+        counts.append(addr)
+        return 1.0
+
+    curves = run_stride_probe(access, sizes=[1024], max_accesses=16,
+                              warmup_passes=0, measure_passes=1)
+    assert curves.at(1024, 8).accesses == 16
+
+
+def test_min_footprint_raises_cap():
+    curves = run_stride_probe(lambda now, addr: 1.0, sizes=[1024],
+                              max_accesses=16, min_footprint=512,
+                              warmup_passes=0, measure_passes=1)
+    assert curves.at(1024, 8).accesses == 64      # 512 / 8
+
+
+def test_time_advances_monotonically():
+    times = []
+
+    def access(now, addr):
+        times.append(now)
+        return 5.0
+
+    run_stride_probe(access, sizes=[64], warmup_passes=0, measure_passes=1)
+    # Within each point, time increases.
+    assert times[:8] == sorted(times[:8])
+
+
+def test_curve_accessors():
+    curves = LatencyCurves(points=[
+        ProbePoint(64, 8, 1.0, 8), ProbePoint(64, 16, 2.0, 4),
+        ProbePoint(128, 8, 3.0, 16)])
+    assert curves.sizes() == [64, 128]
+    assert curves.strides() == [8, 16]
+    assert curves.at(64, 16).avg_cycles == 2.0
+    assert len(curves.curve(64)) == 2
+    with pytest.raises(KeyError):
+        curves.at(256, 8)
+
+
+def test_probe_point_ns():
+    p = ProbePoint(64, 8, 3.0, 8)
+    assert p.avg_ns == pytest.approx(20.0, rel=0.01)

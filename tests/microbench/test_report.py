@@ -1,0 +1,65 @@
+"""Unit tests for ASCII report formatting."""
+
+from repro.microbench.harness import LatencyCurves, ProbePoint
+from repro.microbench.probes import BandwidthPoint, GroupCost
+from repro.microbench.report import (
+    format_bandwidths,
+    format_comparison,
+    format_curves,
+    format_group_costs,
+)
+
+
+def sample_curves():
+    return LatencyCurves(points=[
+        ProbePoint(4096, 8, 1.0, 512),
+        ProbePoint(4096, 16, 1.0, 256),
+        ProbePoint(65536, 8, 6.25, 4096),
+        ProbePoint(65536, 16, 11.5, 4096),
+    ])
+
+
+def test_format_curves_layout():
+    text = format_curves(sample_curves(), title="local reads")
+    lines = text.splitlines()
+    assert lines[0] == "local reads"
+    assert "4K" in lines[1] and "64K" in lines[1]
+    assert text.count("\n") >= 4
+    assert "(values in ns)" in text
+
+
+def test_format_curves_cycles_unit():
+    text = format_curves(sample_curves(), unit="cycles")
+    assert "(values in cycles)" in text
+    assert "6.2" in text            # raw cycles, not ns
+
+
+def test_format_comparison():
+    rows = [("uncached read", 91.0, 91.0, "cycles"),
+            ("cached read", 114.0, 113.0, "cycles")]
+    text = format_comparison(rows, title="headlines")
+    assert "headlines" in text
+    assert "1.00" in text
+    assert "0.99" in text
+    assert "uncached read" in text
+
+
+def test_format_bandwidths():
+    points = [BandwidthPoint("prefetch", 512, 35.2),
+              BandwidthPoint("blt", 512, 2.1),
+              BandwidthPoint("prefetch", 32768, 37.0),
+              BandwidthPoint("blt", 32768, 55.0)]
+    text = format_bandwidths(points, title="bulk reads")
+    assert "prefetch" in text and "blt" in text
+    assert "32K" in text
+    assert "(MB/s)" in text
+
+
+def test_format_group_costs():
+    raw = [GroupCost(1, 110.0), GroupCost(16, 31.0)]
+    sc = [GroupCost(1, 140.0), GroupCost(16, 55.0)]
+    text = format_group_costs(raw, sc, title="prefetch groups")
+    assert "group" in text
+    assert "split-c" in text
+    lines = text.splitlines()
+    assert len(lines) == 5

@@ -1,0 +1,41 @@
+"""Unit tests for packet timing."""
+
+import pytest
+
+from repro.network.router import PacketTimer
+from repro.params import NetworkParams
+
+
+@pytest.fixture
+def timer():
+    return PacketTimer(NetworkParams())
+
+
+def test_single_word_injection(timer):
+    assert timer.injection_cycles(1) == pytest.approx(17.0)
+
+
+def test_multi_word_packets_add_per_word_occupancy(timer):
+    assert timer.injection_cycles(2) == pytest.approx(17.0 + 12.0)
+    assert timer.injection_cycles(4) == pytest.approx(17.0 + 3 * 12.0)
+
+
+def test_flight_scales_with_hops(timer):
+    assert timer.flight_cycles(0) == 0.0
+    assert timer.flight_cycles(4) == pytest.approx(10.0)
+
+
+def test_payload_words(timer):
+    assert timer.payload_words_for_bytes(1) == 1
+    assert timer.payload_words_for_bytes(8) == 1
+    assert timer.payload_words_for_bytes(9) == 2
+    assert timer.payload_words_for_bytes(32) == 4
+
+
+def test_invalid_args(timer):
+    with pytest.raises(ValueError):
+        timer.injection_cycles(0)
+    with pytest.raises(ValueError):
+        timer.flight_cycles(-1)
+    with pytest.raises(ValueError):
+        timer.payload_words_for_bytes(0)

@@ -1,0 +1,79 @@
+"""Unit tests for the 3D torus topology."""
+
+import pytest
+
+from repro.network.torus import Torus
+from repro.params import NetworkParams
+
+
+def torus(shape):
+    return Torus(NetworkParams(shape=shape))
+
+
+def test_num_nodes():
+    assert torus((2, 2, 2)).num_nodes == 8
+    assert torus((4, 4, 2)).num_nodes == 32
+    assert torus((8, 8, 4)).num_nodes == 256
+
+
+def test_coords_round_trip():
+    t = torus((3, 4, 5))
+    for node in range(t.num_nodes):
+        assert t.node_at(t.coords(node)) == node
+
+
+def test_self_distance_zero():
+    t = torus((4, 4, 2))
+    for node in range(t.num_nodes):
+        assert t.hops(node, node) == 0
+
+
+def test_adjacent_nodes_one_hop():
+    t = torus((4, 4, 4))
+    for n in t.neighbors(0):
+        assert t.hops(0, n) == 1
+
+
+def test_hops_symmetric():
+    t = torus((3, 4, 2))
+    for a in range(t.num_nodes):
+        for b in range(t.num_nodes):
+            assert t.hops(a, b) == t.hops(b, a)
+
+
+def test_wraparound_shortens_path():
+    t = torus((8, 1, 1))
+    # 0 -> 7 is one hop the short way around the ring.
+    assert t.hops(0, 7) == 1
+    assert t.hops(0, 4) == 4
+
+
+def test_route_is_connected_and_matches_hops():
+    t = torus((4, 4, 2))
+    for src, dst in [(0, 31), (5, 17), (3, 3), (12, 1)]:
+        path = t.route(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == t.hops(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert t.hops(a, b) == 1
+
+
+def test_hop_latency_uses_param():
+    t = Torus(NetworkParams(shape=(4, 1, 1), hop_cycles=2.5))
+    assert t.hop_latency_cycles(0, 2) == pytest.approx(5.0)
+
+
+def test_max_hops_bounded_by_half_dims():
+    t = torus((8, 8, 4))
+    worst = max(t.hops(0, n) for n in range(t.num_nodes))
+    assert worst == 8 // 2 + 8 // 2 + 4 // 2
+
+
+def test_bad_inputs_rejected():
+    t = torus((2, 2, 2))
+    with pytest.raises(ValueError):
+        t.coords(8)
+    with pytest.raises(ValueError):
+        t.node_at((2, 0, 0))
+    with pytest.raises(ValueError):
+        Torus(NetworkParams(shape=(0, 1, 1)))

@@ -1,0 +1,61 @@
+"""Unit tests for Alpha core costs and byte-manipulation semantics."""
+
+import pytest
+
+from repro.node.alpha import (
+    AlphaCosts,
+    extract_byte,
+    insert_byte,
+    merge_byte_into_word,
+)
+from repro.params import AlphaParams
+
+
+def test_costs():
+    costs = AlphaCosts(AlphaParams())
+    assert costs.external_register() == pytest.approx(23.0)
+    assert costs.memory_barrier() == pytest.approx(4.0)
+    assert costs.alu(4) == pytest.approx(2.0)
+    assert costs.loop_iteration() == pytest.approx(2.0)
+    assert costs.flop_pair() == pytest.approx(6.0)
+
+
+def test_extract_byte():
+    word = 0x0807060504030201
+    for i in range(8):
+        assert extract_byte(word, i) == i + 1
+
+
+def test_insert_byte():
+    assert insert_byte(0xAB, 0) == 0xAB
+    assert insert_byte(0xAB, 3) == 0xAB << 24
+    assert insert_byte(0xAB, 7) == 0xAB << 56
+
+
+def test_merge_byte_round_trips():
+    word = 0x1111111111111111
+    merged = merge_byte_into_word(word, 0xFF, 2)
+    assert extract_byte(merged, 2) == 0xFF
+    for i in range(8):
+        if i != 2:
+            assert extract_byte(merged, i) == 0x11
+
+
+def test_merge_is_read_modify_write():
+    # The defining property of the section 4.5 hazard: merging byte b
+    # into a *stale* word loses any concurrent update to other bytes.
+    original = 0
+    update_by_p0 = merge_byte_into_word(original, 0xAA, 0)
+    update_by_p1 = merge_byte_into_word(original, 0xBB, 1)
+    # Whoever writes last clobbers the other's byte.
+    assert extract_byte(update_by_p1, 0) == 0  # P0's byte lost
+    assert extract_byte(update_by_p0, 1) == 0  # P1's byte lost
+
+
+def test_bounds_checked():
+    with pytest.raises(ValueError):
+        extract_byte(0, 8)
+    with pytest.raises(ValueError):
+        insert_byte(0x100, 0)
+    with pytest.raises(ValueError):
+        merge_byte_into_word(0, 0, -1)

@@ -1,0 +1,105 @@
+"""Unit tests for the cache tag model (paper sections 1.2, 2.2, 3.4)."""
+
+import pytest
+
+from repro.node.cache import Cache
+from repro.params import CacheParams
+
+KB = 1024
+
+
+@pytest.fixture
+def l1():
+    """The T3D's 8 KB direct-mapped, 32 B line L1."""
+    return Cache(CacheParams())
+
+
+def test_geometry():
+    params = CacheParams()
+    assert params.num_lines == 256
+    assert params.num_sets == 256
+
+
+def test_miss_then_hit(l1):
+    assert not l1.lookup(0x1000)
+    l1.fill(0x1000)
+    assert l1.lookup(0x1000)
+    assert l1.hits == 1 and l1.misses == 1
+
+
+def test_line_granularity(l1):
+    l1.fill(0x1000)
+    # Any address in the same 32-byte line hits.
+    assert l1.lookup(0x1000 + 31)
+    assert not l1.lookup(0x1000 + 32)
+
+
+def test_direct_mapped_conflict(l1):
+    # Two addresses 8 KB apart map to the same set and evict each other.
+    l1.fill(0)
+    assert l1.set_index(0) == l1.set_index(8 * KB)
+    evicted = l1.fill(8 * KB)
+    assert evicted == 0
+    assert not l1.contains(0)
+    assert l1.contains(8 * KB)
+
+
+def test_two_way_keeps_both(two_way=None):
+    cache = Cache(CacheParams(associativity=2))
+    cache.fill(0)
+    cache.fill(8 * KB // 2 * 2)  # 8 KB apart in a 8KB 2-way = same set
+    cache.fill(0 + 4 * KB)
+    assert cache.contains(0) or cache.contains(4 * KB)
+
+
+def test_two_way_lru_replacement():
+    cache = Cache(CacheParams(size_bytes=64, line_bytes=32, associativity=2))
+    # One set of two ways: lines 0 and 32 conflict with 64 only via sets.
+    assert cache.params.num_sets == 1
+    cache.fill(0)
+    cache.fill(64)
+    cache.lookup(0)          # touch 0 -> 64 becomes LRU
+    evicted = cache.fill(128)
+    assert evicted == 64
+    assert cache.contains(0)
+
+
+def test_annex_synonyms_share_a_set(l1):
+    # Annex index lives in high-order bits (bit 32+); index bits are low.
+    base = 0x2000
+    synonym = base | (3 << 32)
+    assert l1.set_index(base) == l1.set_index(synonym)
+    l1.fill(base)
+    evicted = l1.fill(synonym)
+    # The synonym evicts the original: they can never be co-resident,
+    # which is why cache synonyms are harmless (section 3.4).
+    assert evicted == base
+    assert not l1.contains(base)
+
+
+def test_invalidate(l1):
+    l1.fill(0x40)
+    assert l1.invalidate(0x40)
+    assert not l1.contains(0x40)
+    assert not l1.invalidate(0x40)
+
+
+def test_flush_all(l1):
+    for i in range(10):
+        l1.fill(i * 32)
+    assert l1.resident_lines == 10
+    assert l1.flush_all() == 10
+    assert l1.resident_lines == 0
+
+
+def test_contains_does_not_touch_counters(l1):
+    l1.fill(0)
+    hits, misses = l1.hits, l1.misses
+    l1.contains(0)
+    l1.contains(999999)
+    assert (l1.hits, l1.misses) == (hits, misses)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheParams(size_bytes=100, line_bytes=32, associativity=1)

@@ -1,0 +1,92 @@
+"""Unit tests for the page-mode DRAM model (paper section 2.2)."""
+
+import pytest
+
+from repro.node.dram import Dram
+from repro.params import DramParams
+
+KB = 1024
+
+
+@pytest.fixture
+def dram():
+    return Dram(DramParams())
+
+
+def test_base_access_cost_on_open_page(dram):
+    dram.access(0)  # opens the row
+    assert dram.access(8) == pytest.approx(22.0)
+    assert dram.access(64) == pytest.approx(22.0)
+
+
+def test_first_access_pays_off_page(dram):
+    # Cold row: off-page penalty, no same-bank conflict (no history).
+    assert dram.access(0) == pytest.approx(22.0 + 9.0)
+
+
+def test_bank_mapping_interleaves_16kb_blocks(dram):
+    assert dram.bank_of(0) == 0
+    assert dram.bank_of(16 * KB) == 1
+    assert dram.bank_of(32 * KB) == 2
+    assert dram.bank_of(48 * KB) == 3
+    assert dram.bank_of(64 * KB) == 0
+
+
+def test_within_bank_offset_compacts_blocks(dram):
+    # Bank 0 owns blocks 0, 4, 8 ... -> within-bank offsets 0, 16K, 32K.
+    assert dram.within_bank_offset(0) == 0
+    assert dram.within_bank_offset(64 * KB) == 16 * KB
+    assert dram.within_bank_offset(64 * KB + 100) == 16 * KB + 100
+    assert dram.within_bank_offset(128 * KB) == 32 * KB
+
+
+def test_16kb_stride_misses_page_every_access(dram):
+    dram.access(0)
+    latencies = [dram.access(i * 16 * KB) for i in range(1, 8)]
+    # Every access changes bank and row: +9 cycles, no same-bank hit.
+    assert all(lat == pytest.approx(31.0) for lat in latencies)
+
+
+def test_64kb_stride_hits_same_bank_full_cycle_time(dram):
+    dram.access(0)
+    latencies = [dram.access(i * 64 * KB) for i in range(1, 8)]
+    # Same bank every time, new row every time: 22 + 9 + 9 = 40 cycles.
+    assert all(lat == pytest.approx(40.0) for lat in latencies)
+
+
+def test_32kb_stride_alternates_two_banks_no_same_bank_penalty(dram):
+    dram.access(0)
+    latencies = [dram.access(i * 32 * KB) for i in range(1, 8)]
+    assert all(lat == pytest.approx(31.0) for lat in latencies)
+
+
+def test_sequential_stream_stays_on_page(dram):
+    dram.access(0)
+    latencies = [dram.access(a) for a in range(32, 8 * KB, 32)]
+    assert all(lat == pytest.approx(22.0) for lat in latencies)
+
+
+def test_peek_does_not_mutate_state(dram):
+    dram.access(0)
+    before = dram.peek_access_cycles(16 * KB)
+    again = dram.peek_access_cycles(16 * KB)
+    assert before == again == pytest.approx(31.0)
+    # State unchanged: an access still pays the penalty peek predicted.
+    assert dram.access(16 * KB) == pytest.approx(31.0)
+
+
+def test_reset_clears_history(dram):
+    dram.access(0)
+    dram.access(64 * KB)
+    dram.reset()
+    assert dram.accesses == 0
+    assert dram.access(0) == pytest.approx(31.0)  # cold again
+
+
+def test_counters_track_misses(dram):
+    dram.access(0)
+    dram.access(8)
+    dram.access(64 * KB)
+    assert dram.accesses == 3
+    assert dram.row_misses == 2
+    assert dram.same_bank_conflicts == 1

@@ -1,0 +1,39 @@
+"""Unit tests for the functional word store."""
+
+from repro.node.memory import WordMemory
+
+
+def test_unwritten_reads_zero():
+    mem = WordMemory()
+    assert mem.load(0x1234) == 0
+
+
+def test_store_load_round_trip():
+    mem = WordMemory()
+    mem.store(0x100, 3.5)
+    assert mem.load(0x100) == 3.5
+
+
+def test_word_granularity():
+    mem = WordMemory()
+    mem.store(0x100, "word")
+    # Any address within the word reads the same value.
+    assert mem.load(0x107) == "word"
+    assert mem.load(0x108) == 0
+    # A sub-word-addressed store replaces the whole word.
+    mem.store(0x103, "other")
+    assert mem.load(0x100) == "other"
+
+
+def test_range_helpers():
+    mem = WordMemory()
+    mem.store_range(0x200, [1, 2, 3])
+    assert mem.load_range(0x200, 4) == [1, 2, 3, 0]
+
+
+def test_len_counts_written_words():
+    mem = WordMemory()
+    mem.store(0, 1)
+    mem.store(7, 2)        # same word
+    mem.store(8, 3)
+    assert len(mem) == 2

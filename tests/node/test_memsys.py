@@ -1,0 +1,180 @@
+"""Integration tests for the composed node memory system.
+
+These assert the headline local-memory numbers of paper section 2:
+L1 hit = 1 cycle, full memory access ~= 22 cycles, off-page +9,
+same-bank worst case 40, write merging ~3 cycles/store, steady-state
+non-merged writes ~145/4 ns, and the contrast with the workstation
+configuration (L2, small pages).
+"""
+
+import pytest
+
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+
+KB = 1024
+
+
+@pytest.fixture
+def ms():
+    return t3d_memory_system()
+
+
+def warm_reads(ms, addrs):
+    now = 0.0
+    for a in addrs:
+        now += ms.read_cycles(now, a)
+    return now
+
+
+def avg_read(ms, addrs, now=0.0):
+    total = 0.0
+    for a in addrs:
+        c = ms.read_cycles(now, a)
+        total += c
+        now += c
+    return total / len(addrs)
+
+
+def test_l1_hit_is_one_cycle(ms):
+    addrs = list(range(0, 4 * KB, 8))
+    warm_reads(ms, addrs)
+    assert avg_read(ms, addrs, now=1e6) == pytest.approx(1.0)
+
+
+def test_l1_miss_costs_full_memory_access(ms):
+    # 16 KB array, 32 B stride: every read misses, stays on-page mostly.
+    addrs = list(range(0, 16 * KB, 32))
+    warm_reads(ms, addrs)
+    avg = avg_read(ms, addrs, now=1e6)
+    assert 22.0 <= avg <= 24.0
+
+
+def test_direct_mapped_no_drop_at_large_stride(ms):
+    # Two addresses 8 KB apart conflict forever: both always miss.
+    a, b = 0, 8 * KB
+    warm_reads(ms, [a, b] * 4)
+    costs = []
+    now = 1e6
+    for addr in [a, b] * 8:
+        c = ms.read_cycles(now, addr)
+        costs.append(c)
+        now += c
+    assert min(costs) >= 22.0
+
+
+def test_64kb_stride_exposes_same_bank_penalty(ms):
+    addrs = list(range(0, 512 * KB, 64 * KB))
+    warm_reads(ms, addrs)
+    avg = avg_read(ms, addrs, now=1e6)
+    assert avg == pytest.approx(1.0 + 40.0, abs=2.0) or avg == pytest.approx(40.0, abs=2.0)
+
+
+def test_write_merging_small_stride(ms):
+    now = 0.0
+    costs = []
+    for a in range(0, 4 * KB, 8):
+        c = ms.write_cycles(now, a)
+        costs.append(c)
+        now += c
+    assert sum(costs) / len(costs) == pytest.approx(3.0, abs=0.5)
+
+
+def test_write_steady_state_32b_stride(ms):
+    # Non-merged writes proceed at ~drain/4 per entry: ~(22/4) cycles
+    # once the buffer pipelines, i.e. ~36 ns, matching Figure 2.
+    now = 0.0
+    costs = []
+    for a in range(0, 32 * KB, 32):
+        c = ms.write_cycles(now, a)
+        costs.append(c)
+        now += c
+    steady = sum(costs[64:]) / len(costs[64:])
+    assert steady == pytest.approx(22.0 / 4, abs=1.0)
+
+
+def test_memory_barrier_drains(ms):
+    now = 0.0
+    for a in range(0, 8 * 32, 32):
+        now += ms.write_cycles(now, a, value=a)
+    done = ms.memory_barrier(now)
+    assert done >= now
+    assert ms.write_buffer.occupancy(done) == 0
+    # All values committed.
+    assert ms.memory.load(32) == 32
+
+
+def test_read_forwards_pending_write(ms):
+    ms.write(0.0, 0x100, "new")
+    cycles, value = ms.read(1.0, 0x100)
+    assert value == "new"
+
+
+def test_read_of_synonym_sees_stale_value(ms):
+    ms.memory.store(0x100, "old")
+    ms.write(0.0, 0x100, "new")
+    synonym = 0x100 | (1 << 32)
+    _, value = ms.read(1.0, synonym)
+    assert value == "old"          # the section 3.4 hazard
+    done = ms.memory_barrier(50.0)
+    _, value = ms.read(done, synonym)
+    assert value == "new"          # barrier restores consistency
+
+
+def test_workstation_has_l2_between_l1_and_memory():
+    ws = workstation_memory_system()
+    # 64 KB working set: misses L1 (8 KB) but fits L2 (512 KB).
+    addrs = list(range(0, 64 * KB, 32))
+    now = 0.0
+    for a in addrs:
+        now += ws.read_cycles(now, a)
+    total = 0.0
+    for a in addrs:
+        c = ws.read_cycles(now, a)
+        total += c
+        now += c
+    avg = total / len(addrs)
+    assert avg == pytest.approx(10.0, abs=1.0)     # L2 hit time
+
+
+def test_workstation_memory_slower_than_t3d():
+    ws = workstation_memory_system()
+    # 2 MB working set at 8 KB stride: beyond L2, and 256 pages exceed
+    # the 32-entry TLB, so every access adds a 35-cycle miss to the
+    # 45-cycle memory access — Figure 1's 8 KB-stride inflection.
+    addrs = list(range(0, 2 * KB * KB, 8 * KB))
+    now = 0.0
+    for a in addrs:
+        now += ws.read_cycles(now, a)
+    total = 0.0
+    for a in addrs:
+        c = ws.read_cycles(now, a)
+        total += c
+        now += c
+    avg = total / len(addrs)
+    assert avg >= 45.0 + 35.0 - 1.0
+
+
+def test_t3d_streaming_bandwidth_roughly_double_workstation():
+    from repro.params import mb_per_s
+
+    def stream_bw(ms):
+        addrs = list(range(0, 256 * KB, 8))
+        now = 0.0
+        total = 0.0
+        for a in addrs:
+            c = ms.read_cycles(now, a)
+            total += c
+            now += c
+        return mb_per_s(len(addrs) * 8, total)
+
+    t3d_bw = stream_bw(t3d_memory_system())
+    ws_bw = stream_bw(workstation_memory_system())
+    assert t3d_bw > 150.0            # paper: ~220 MB/s
+    assert ws_bw < 0.65 * t3d_bw     # paper: "about half"
+
+
+def test_reset_restores_cold_state(ms):
+    warm_reads(ms, range(0, 4 * KB, 8))
+    ms.reset()
+    assert ms.l1.resident_lines == 0
+    assert ms.read_cycles(0.0, 0) > 20.0

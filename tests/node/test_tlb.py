@@ -1,0 +1,53 @@
+"""Unit tests for the TLB model (paper section 2.2)."""
+
+import pytest
+
+from repro.node.tlb import Tlb
+from repro.params import TlbParams
+
+KB = 1024
+
+
+def test_t3d_huge_pages_never_miss():
+    tlb = Tlb(TlbParams(never_misses=True))
+    for addr in range(0, 64 * 1024 * 1024, 8 * 1024 * 1024):
+        assert tlb.translate(addr) == 0.0
+    assert tlb.misses == 0
+
+
+def test_workstation_first_touch_misses():
+    tlb = Tlb(TlbParams(entries=4, page_bytes=8 * KB, miss_cycles=35.0,
+                        never_misses=False))
+    assert tlb.translate(0) == pytest.approx(35.0)
+    assert tlb.translate(100) == 0.0
+    assert tlb.translate(8 * KB) == pytest.approx(35.0)
+
+
+def test_lru_eviction():
+    tlb = Tlb(TlbParams(entries=2, page_bytes=8 * KB, miss_cycles=35.0,
+                        never_misses=False))
+    tlb.translate(0 * 8 * KB)
+    tlb.translate(1 * 8 * KB)
+    tlb.translate(0)                       # touch page 0 -> page 1 is LRU
+    tlb.translate(2 * 8 * KB)              # evicts page 1
+    assert tlb.translate(0) == 0.0
+    assert tlb.translate(8 * KB) == pytest.approx(35.0)
+
+
+def test_working_set_beyond_reach_always_misses():
+    tlb = Tlb(TlbParams(entries=4, page_bytes=8 * KB, miss_cycles=35.0,
+                        never_misses=False))
+    pages = [i * 8 * KB for i in range(8)]
+    for addr in pages:   # warm
+        tlb.translate(addr)
+    costs = [tlb.translate(addr) for addr in pages]
+    assert all(c == pytest.approx(35.0) for c in costs)
+
+
+def test_reset():
+    tlb = Tlb(TlbParams(entries=4, page_bytes=8 * KB, miss_cycles=35.0,
+                        never_misses=False))
+    tlb.translate(0)
+    tlb.reset()
+    assert tlb.misses == 0
+    assert tlb.translate(0) == pytest.approx(35.0)

@@ -1,0 +1,89 @@
+"""Property-based tests: cache model invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.node.cache import Cache
+from repro.params import CacheParams
+
+addr_lists = st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=200)
+ways = st.sampled_from([1, 2, 4])
+
+
+def make_cache(associativity=1, size=1024):
+    return Cache(CacheParams(size_bytes=size, line_bytes=32,
+                             associativity=associativity))
+
+
+@given(addr_lists, ways)
+@settings(max_examples=50)
+def test_occupancy_never_exceeds_capacity(addrs, assoc):
+    cache = make_cache(associativity=assoc)
+    for addr in addrs:
+        cache.fill(addr)
+    assert cache.resident_lines <= cache.params.num_lines
+    for ways_list in cache._sets:
+        assert len(ways_list) <= assoc
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_fill_then_contains(addrs):
+    cache = make_cache()
+    for addr in addrs:
+        cache.fill(addr)
+        assert cache.contains(addr)
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_lookup_hit_iff_contains(addrs):
+    cache = make_cache()
+    for addr in addrs:
+        expected = cache.contains(addr)
+        assert cache.lookup(addr) == expected
+        cache.fill(addr)
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_hits_plus_misses_equals_lookups(addrs):
+    cache = make_cache()
+    for addr in addrs:
+        cache.lookup(addr)
+        cache.fill(addr)
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_invalidate_removes_exactly_one_line(addrs):
+    cache = make_cache()
+    for addr in addrs:
+        cache.fill(addr)
+    before = cache.resident_lines
+    target = addrs[0]
+    was_there = cache.contains(target)
+    cache.invalidate(target)
+    assert not cache.contains(target)
+    assert cache.resident_lines == before - (1 if was_there else 0)
+
+
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.integers(min_value=0, max_value=31))
+def test_synonyms_always_share_a_set(addr, annex_index):
+    """Section 3.4: annex bits above bit 32 never reach the index."""
+    cache = Cache(CacheParams())           # the real 8 KB L1
+    synonym = addr | (annex_index << 32)
+    assert cache.set_index(addr) == cache.set_index(synonym)
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_flush_all_empties(addrs):
+    cache = make_cache(associativity=2)
+    for addr in addrs:
+        cache.fill(addr)
+    dropped = cache.flush_all()
+    assert dropped >= 0
+    assert cache.resident_lines == 0

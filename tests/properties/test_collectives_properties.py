@@ -1,0 +1,81 @@
+"""Property-based tests: collective operation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.collectives import all_gather, all_reduce, reduce, scan
+from repro.splitc.runtime import run_splitc
+
+value_lists = st.lists(st.integers(min_value=-10_000, max_value=10_000),
+                       min_size=4, max_size=4)
+
+
+def machine4():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+@given(value_lists)
+@settings(max_examples=15, deadline=None)
+def test_all_gather_returns_inputs_in_pe_order(values):
+    def program(sc):
+        return (yield from all_gather(sc, values[sc.my_pe]))
+
+    results, _ = run_splitc(machine4(), program)
+    assert all(r == values for r in results)
+
+
+@given(value_lists, st.integers(min_value=0, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_reduce_equals_python_sum(values, root):
+    def program(sc):
+        return (yield from reduce(sc, root, values[sc.my_pe]))
+
+    results, _ = run_splitc(machine4(), program)
+    assert results[root] == sum(values)
+    assert all(results[pe] is None for pe in range(4) if pe != root)
+
+
+@given(value_lists)
+@settings(max_examples=15, deadline=None)
+def test_all_reduce_agrees_everywhere_and_with_reduce(values):
+    def program(sc):
+        total = yield from all_reduce(sc, values[sc.my_pe])
+        rooted = yield from reduce(sc, 0, values[sc.my_pe])
+        return total, rooted
+
+    results, _ = run_splitc(machine4(), program)
+    totals = [t for t, _r in results]
+    assert totals == [sum(values)] * 4
+    assert results[0][1] == sum(values)
+
+
+@given(value_lists)
+@settings(max_examples=15, deadline=None)
+def test_scan_prefix_law(values):
+    """Exclusive scan at p + own value = inclusive scan at p."""
+    def program(sc):
+        ex = yield from scan(sc, values[sc.my_pe], exclusive=True)
+        inc = yield from scan(sc, values[sc.my_pe], exclusive=False)
+        return ex, inc
+
+    results, _ = run_splitc(machine4(), program)
+    for pe, (ex, inc) in enumerate(results):
+        expected_inc = sum(values[:pe + 1])
+        assert inc == expected_inc
+        if pe == 0:
+            assert ex is None
+        else:
+            assert ex + values[pe] == inc
+
+
+@given(value_lists)
+@settings(max_examples=10, deadline=None)
+def test_gather_then_local_fold_equals_all_reduce(values):
+    def program(sc):
+        gathered = yield from all_gather(sc, values[sc.my_pe])
+        total = yield from all_reduce(sc, values[sc.my_pe])
+        return sum(gathered) == total
+
+    results, _ = run_splitc(machine4(), program)
+    assert all(results)

@@ -1,0 +1,70 @@
+"""Property-based tests: global pointer laws (paper section 3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.splitc.gptr import ADDR_MASK, GlobalPtr
+
+pes = st.integers(min_value=0, max_value=(1 << 16) - 1)
+addrs = st.integers(min_value=0, max_value=ADDR_MASK)
+small_addrs = st.integers(min_value=0, max_value=1 << 40)
+offsets = st.integers(min_value=0, max_value=1 << 20)
+counts = st.integers(min_value=0, max_value=1 << 16)
+machine_sizes = st.integers(min_value=1, max_value=2048)
+
+
+@given(pes, addrs)
+def test_encode_decode_round_trip(pe, addr):
+    gp = GlobalPtr(pe, addr)
+    assert GlobalPtr.decode(gp.encode()) == gp
+
+
+@given(pes, addrs)
+def test_encoding_fits_64_bits_and_is_injective_fields(pe, addr):
+    bits = GlobalPtr(pe, addr).encode()
+    assert 0 <= bits < (1 << 64)
+    assert bits >> 48 == pe
+    assert bits & ADDR_MASK == addr
+
+
+@given(pes, small_addrs, offsets, offsets)
+def test_local_add_is_additive(pe, addr, a, b):
+    gp = GlobalPtr(pe, addr)
+    assert gp.local_add(a).local_add(b) == gp.local_add(a + b)
+    assert gp.local_add(a).pe == pe
+
+
+@given(pes, small_addrs, offsets)
+def test_local_diff_inverts_local_add(pe, addr, off):
+    gp = GlobalPtr(pe, addr)
+    assert gp.local_add(off).local_diff(gp) == off
+
+
+@given(small_addrs, counts, counts, machine_sizes)
+def test_global_add_is_additive(addr, a, b, num_pes):
+    gp = GlobalPtr(0, addr)
+    one_shot = gp.global_add(a + b, num_pes)
+    two_shot = gp.global_add(a, num_pes).global_add(b, num_pes)
+    assert one_shot == two_shot
+
+
+@given(small_addrs, counts, machine_sizes)
+def test_global_add_processor_varies_fastest(addr, n, num_pes):
+    gp = GlobalPtr(0, addr)
+    moved = gp.global_add(n, num_pes)
+    assert moved.pe == n % num_pes
+    assert moved.addr == addr + (n // num_pes) * 8
+
+
+@given(st.integers(min_value=2, max_value=64), small_addrs)
+def test_global_add_full_lap_returns_home_one_word_up(num_pes, addr):
+    gp = GlobalPtr(0, addr)
+    lap = gp.global_add(num_pes, num_pes)
+    assert lap.pe == 0
+    assert lap.addr == addr + 8
+
+
+@given(pes, addrs)
+def test_null_iff_all_zero(pe, addr):
+    gp = GlobalPtr(pe, addr)
+    assert gp.is_null() == (pe == 0 and addr == 0)
+    assert bool(gp) != gp.is_null()

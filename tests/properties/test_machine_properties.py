@@ -1,0 +1,90 @@
+"""Property-based tests: torus, DRAM, TLB, spread-array invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.torus import Torus
+from repro.node.dram import Dram
+from repro.node.tlb import Tlb
+from repro.params import DramParams, NetworkParams, TlbParams
+
+shapes = st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 4))
+addr_lists = st.lists(st.integers(min_value=0, max_value=1 << 22),
+                      min_size=1, max_size=100)
+
+
+@given(shapes)
+@settings(max_examples=30)
+def test_torus_hops_metric_properties(shape):
+    t = Torus(NetworkParams(shape=shape))
+    nodes = list(range(min(t.num_nodes, 12)))
+    for a in nodes:
+        assert t.hops(a, a) == 0
+        for b in nodes:
+            assert t.hops(a, b) == t.hops(b, a)
+            assert t.hops(a, b) <= sum(d // 2 for d in shape)
+
+
+@given(shapes, st.data())
+@settings(max_examples=30)
+def test_torus_triangle_inequality(shape, data):
+    t = Torus(NetworkParams(shape=shape))
+    pick = st.integers(0, t.num_nodes - 1)
+    a, b, c = (data.draw(pick) for _ in range(3))
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+
+@given(shapes, st.data())
+@settings(max_examples=30)
+def test_torus_route_length_equals_hops(shape, data):
+    t = Torus(NetworkParams(shape=shape))
+    pick = st.integers(0, t.num_nodes - 1)
+    a, b = data.draw(pick), data.draw(pick)
+    path = t.route(a, b)
+    assert len(path) - 1 == t.hops(a, b)
+    assert path[0] == a and path[-1] == b
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_dram_latency_in_known_set(addrs):
+    dram = Dram(DramParams())
+    for addr in addrs:
+        assert dram.access(addr) in (22.0, 31.0, 40.0)
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_dram_repeat_access_is_on_page(addrs):
+    dram = Dram(DramParams())
+    for addr in addrs:
+        dram.access(addr)
+        assert dram.access(addr) == 22.0
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_dram_peek_predicts_access(addrs):
+    dram = Dram(DramParams())
+    for addr in addrs:
+        predicted = dram.peek_access_cycles(addr)
+        assert dram.access(addr) == predicted
+
+
+@given(addr_lists, st.integers(min_value=1, max_value=64))
+@settings(max_examples=50)
+def test_tlb_occupancy_bounded(addrs, entries):
+    tlb = Tlb(TlbParams(entries=entries, page_bytes=8192,
+                        miss_cycles=35.0, never_misses=False))
+    for addr in addrs:
+        tlb.translate(addr)
+    assert len(tlb._entries) <= entries
+
+
+@given(addr_lists)
+@settings(max_examples=50)
+def test_tlb_immediate_reuse_hits(addrs):
+    tlb = Tlb(TlbParams(entries=4, page_bytes=8192, miss_cycles=35.0,
+                        never_misses=False))
+    for addr in addrs:
+        tlb.translate(addr)
+        assert tlb.translate(addr) == 0.0

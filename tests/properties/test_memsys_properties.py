@@ -1,0 +1,96 @@
+"""Property-based tests: end-to-end memory-system invariants under
+random operation sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.node.memsys import t3d_memory_system
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "mb"]),
+              st.integers(min_value=0, max_value=1 << 14),
+              st.integers(min_value=0, max_value=1000)),
+    min_size=1, max_size=120)
+
+
+@given(ops)
+@settings(max_examples=40)
+def test_memory_equals_replay_after_barrier(sequence):
+    """After a final memory barrier, the backing store equals a plain
+    last-writer-wins replay of the writes."""
+    ms = t3d_memory_system()
+    now = 0.0
+    expected = {}
+    for op, addr, value in sequence:
+        if op == "read":
+            cycles, _ = ms.read(now, addr)
+            now += cycles
+        elif op == "write":
+            now += ms.write(now, addr, value)
+            expected[addr - addr % 8] = value
+        else:
+            now = ms.memory_barrier(now)
+    now = ms.memory_barrier(now)
+    for addr, value in expected.items():
+        assert ms.memory.load(addr) == value
+
+
+@given(ops)
+@settings(max_examples=40)
+def test_time_never_goes_backwards_and_costs_bounded(sequence):
+    ms = t3d_memory_system()
+    now = 0.0
+    for op, addr, value in sequence:
+        before = now
+        if op == "read":
+            cycles, _ = ms.read(now, addr)
+            assert 1.0 <= cycles <= 41.0        # hit .. same-bank worst
+            now += cycles
+        elif op == "write":
+            cycles = ms.write(now, addr, value)
+            assert cycles >= 3.0
+            now += cycles
+        else:
+            now = ms.memory_barrier(now)
+        assert now >= before
+
+
+@given(ops)
+@settings(max_examples=40)
+def test_read_your_own_writes_always(sequence):
+    """A read issued after a write to the same word returns it,
+    buffered or not."""
+    ms = t3d_memory_system()
+    now = 0.0
+    last = {}
+    for op, addr, value in sequence:
+        word = addr - addr % 8
+        if op == "write":
+            now += ms.write(now, addr, value)
+            last[word] = value
+        elif op == "read":
+            cycles, got = ms.read(now, addr)
+            now += cycles
+            if word in last:
+                assert got == last[word]
+        else:
+            now = ms.memory_barrier(now)
+
+
+@given(ops)
+@settings(max_examples=30)
+def test_reset_always_restores_cold_state(sequence):
+    ms = t3d_memory_system()
+    now = 0.0
+    for op, addr, value in sequence:
+        if op == "read":
+            cycles, _ = ms.read(now, addr)
+            now += cycles
+        elif op == "write":
+            now += ms.write(now, addr, value)
+        else:
+            now = ms.memory_barrier(now)
+    ms.reset()
+    assert ms.l1.resident_lines == 0
+    assert ms.write_buffer.occupancy(0.0) == 0
+    # First read after reset is a full (cold, off-page) miss.
+    assert ms.read_cycles(0.0, 0) >= 22.0

@@ -1,0 +1,75 @@
+"""Property-based tests: shell unit invariants (prefetch FIFO,
+barrier, annex, heap allocator)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machine import Machine
+from repro.machine.node import HeapAllocator
+from repro.params import AnnexParams, BarrierParams, t3d_machine_params
+from repro.shell.annex import DtbAnnex
+from repro.shell.barrier import HardwareBarrier
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=16))
+@settings(max_examples=30)
+def test_prefetch_fifo_preserves_order(values):
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    mem = machine.node(1).memsys.memory
+    for i, v in enumerate(values):
+        mem.store(i * 8, v)
+    pf = machine.node(0).prefetch
+    now = 0.0
+    for i in range(len(values)):
+        now += pf.issue(now, 1, i * 8)
+    popped = []
+    for _ in values:
+        cycles, value = pf.pop(now)
+        now += cycles
+        popped.append(value)
+    assert popped == values
+    assert pf.outstanding() == 0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6),
+                min_size=2, max_size=8))
+@settings(max_examples=30)
+def test_barrier_settle_after_every_arrival(arrival_times):
+    barrier = HardwareBarrier(BarrierParams(), num_pes=len(arrival_times))
+    for pe, t in enumerate(arrival_times):
+        barrier.start(pe, t)
+    settle = barrier.settle_time(0)
+    assert settle >= max(arrival_times)
+    for pe, t in enumerate(arrival_times):
+        assert barrier.wait(pe, 0, t) >= settle
+
+
+@given(st.lists(st.tuples(st.integers(1, 31), st.integers(0, 63)),
+                min_size=1, max_size=64))
+@settings(max_examples=30)
+def test_annex_resolution_matches_last_write(updates):
+    annex = DtbAnnex(AnnexParams(), my_pe=0)
+    last = {}
+    for index, pe in updates:
+        annex.set_entry(index, pe)
+        last[index] = pe
+    for index, pe in last.items():
+        entry, offset = annex.resolve(annex.compose_address(index, 0x40))
+        assert entry.pe == pe
+        assert offset == 0x40
+    assert annex.entry(0).pe == 0           # entry 0 untouched
+
+
+@given(st.lists(st.tuples(st.integers(1, 4096),
+                          st.sampled_from([1, 2, 4, 8, 16, 32])),
+                min_size=1, max_size=50))
+@settings(max_examples=30)
+def test_heap_allocations_disjoint_and_aligned(requests):
+    heap = HeapAllocator()
+    regions = []
+    for nbytes, align in requests:
+        start = heap.alloc(nbytes, align)
+        assert start % align == 0
+        for other_start, other_end in regions:
+            assert start >= other_end or start + nbytes <= other_start
+        regions.append((start, start + nbytes))

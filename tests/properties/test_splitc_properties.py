@@ -1,0 +1,85 @@
+"""Property-based tests: Split-C runtime end-to-end invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import SplitC, run_splitc
+from repro.splitc.spread import SpreadArray
+
+values = st.lists(st.integers(min_value=-1000, max_value=1000),
+                  min_size=1, max_size=24)
+
+
+@given(values)
+@settings(max_examples=25, deadline=None)
+def test_write_then_read_round_trips(data):
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    sc = SplitC(machine.make_contexts()[0])
+    for i, v in enumerate(data):
+        sc.write(GlobalPtr(1, 0x1000 + i * 8), v)
+    for i, v in enumerate(data):
+        assert sc.read(GlobalPtr(1, 0x1000 + i * 8)) == v
+
+
+@given(values)
+@settings(max_examples=25, deadline=None)
+def test_puts_after_sync_equal_writes(data):
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    sc = SplitC(machine.make_contexts()[0])
+    for i, v in enumerate(data):
+        sc.put(GlobalPtr(1, 0x2000 + i * 8), v)
+    sc.sync()
+    mem = machine.node(1).memsys.memory
+    assert mem.load_range(0x2000, len(data)) == data
+
+
+@given(values)
+@settings(max_examples=25, deadline=None)
+def test_gets_after_sync_fetch_everything(data):
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    mem = machine.node(1).memsys.memory
+    for i, v in enumerate(data):
+        mem.store(0x3000 + i * 8, v)
+    sc = SplitC(machine.make_contexts()[0])
+    dst = sc.ctx.node.heap.alloc(len(data) * 8)
+    for i in range(len(data)):
+        sc.get(GlobalPtr(1, 0x3000 + i * 8), dst + i * 8)
+    sc.sync()
+    sc.ctx.memory_barrier()
+    assert sc.ctx.node.memsys.memory.load_range(dst, len(data)) == data
+
+
+@given(st.integers(min_value=1, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_spread_array_partition_is_exact(nelems):
+    machine = Machine(t3d_machine_params((2, 2, 1)))
+
+    def program(sc):
+        arr = SpreadArray(sc, nelems)
+        return list(arr.my_indices())
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    flat = sorted(i for indices in results for i in indices)
+    assert flat == list(range(nelems))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30),
+                min_size=1, max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_bulk_round_trip(data_seed):
+    nwords = len(data_seed)
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    mem1 = machine.node(1).memsys.memory
+    for i, v in enumerate(data_seed):
+        mem1.store(0x8000 + i * 8, v)
+    sc = SplitC(machine.make_contexts()[0])
+    sc.bulk_read(0x100000, GlobalPtr(1, 0x8000), nwords * 8)
+    sc.ctx.memory_barrier()
+    got = sc.ctx.node.memsys.memory.load_range(0x100000, nwords)
+    assert got == data_seed
+    # And write it back somewhere else on the remote node.
+    sc.bulk_write(GlobalPtr(1, 0x200000), 0x100000, nwords * 8)
+    assert mem1.load_range(0x200000, nwords) == data_seed

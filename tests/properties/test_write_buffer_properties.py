@@ -1,0 +1,88 @@
+"""Property-based tests: write-buffer invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.node.write_buffer import WriteBuffer
+from repro.params import WriteBufferParams
+
+stores = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 14),  # address
+              st.integers(min_value=0, max_value=1 << 16)),  # value
+    min_size=1, max_size=100)
+drains = st.floats(min_value=10.0, max_value=200.0)
+
+
+def run_stream(stream, drain_cost, merging=True):
+    committed = []
+    wb = WriteBuffer(WriteBufferParams(merging=merging),
+                     apply=lambda a, v: committed.append((a, v)))
+    now = 0.0
+    for addr, value in stream:
+        now += wb.push(now, addr, value, drain_cost)
+    return wb, committed, now
+
+
+@given(stores, drains)
+@settings(max_examples=50)
+def test_occupancy_bounded_by_depth(stream, drain_cost):
+    wb, _, now = run_stream(stream, drain_cost)
+    assert wb.occupancy(now) <= wb.params.entries
+
+
+@given(stores, drains)
+@settings(max_examples=50)
+def test_every_word_committed_exactly_once_after_drain(stream, drain_cost):
+    wb, committed, now = run_stream(stream, drain_cost)
+    done = wb.drain_all(now)
+    assert wb.occupancy(done) == 0
+    # Last-writer-wins per word: the committed dict equals replaying
+    # the stream at word granularity.
+    final = {}
+    for addr, value in stream:
+        final[addr - addr % 8] = value
+    seen = {}
+    for addr, value in committed:
+        seen[addr - addr % 8] = value
+    assert seen == final
+
+
+@given(stores, drains)
+@settings(max_examples=50)
+def test_forwarding_returns_last_pending_value(stream, drain_cost):
+    wb, _, now = run_stream(stream, drain_cost)
+    last_value = {}
+    for addr, value in stream:
+        last_value[addr - addr % 8] = value
+    for addr, expected in last_value.items():
+        found, value = wb.find_word(now, addr)
+        if found:
+            assert value == expected
+
+
+@given(stores, drains)
+@settings(max_examples=50)
+def test_time_and_costs_monotone(stream, drain_cost):
+    wb = WriteBuffer(WriteBufferParams())
+    now = 0.0
+    retires = []
+    for addr, value in stream:
+        cost = wb.push(now, addr, value, drain_cost)
+        assert cost >= wb.params.issue_cycles
+        now += cost
+        retires.extend(e.retire_time for e in wb._pending)
+    assert wb.drain_all(now) >= now or not retires
+
+
+@given(stores)
+@settings(max_examples=50)
+def test_merged_plus_entries_accounts_for_all_pushes(stream):
+    wb, _, now = run_stream(stream, 100.0)
+    wb.drain_all(now)
+    assert wb.merged_writes + wb.drained_entries == len(stream)
+
+
+@given(stores, drains)
+@settings(max_examples=50)
+def test_no_merging_mode_never_merges(stream, drain_cost):
+    wb, _, now = run_stream(stream, drain_cost, merging=False)
+    assert wb.merged_writes == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the DTB Annex (paper section 3.2, Figure 3)."""
+
+import pytest
+
+from repro.params import ANNEX_BIT_SHIFT, AnnexParams
+from repro.shell.annex import DtbAnnex, ReadMode
+
+
+@pytest.fixture
+def annex():
+    return DtbAnnex(AnnexParams(), my_pe=5)
+
+
+def test_entry_zero_is_local_and_immutable(annex):
+    assert annex.entry(0).pe == 5
+    with pytest.raises(ValueError):
+        annex.set_entry(0, 7)
+
+
+def test_update_costs_23_cycles(annex):
+    assert annex.set_entry(1, 9) == pytest.approx(23.0)
+    assert annex.entry(1).pe == 9
+    assert annex.updates == 1
+
+
+def test_modes(annex):
+    annex.set_entry(2, 3, ReadMode.CACHED)
+    assert annex.entry(2).mode is ReadMode.CACHED
+    annex.set_entry(2, 3)
+    assert annex.entry(2).mode is ReadMode.UNCACHED
+
+
+def test_compose_decompose_round_trip(annex):
+    addr = annex.compose_address(7, 0x1234)
+    assert addr == (7 << ANNEX_BIT_SHIFT) | 0x1234
+    assert annex.decompose_address(addr) == (7, 0x1234)
+
+
+def test_resolve(annex):
+    annex.set_entry(3, 11)
+    entry, offset = annex.resolve(annex.compose_address(3, 0x800))
+    assert entry.pe == 11
+    assert offset == 0x800
+
+
+def test_synonym_groups_detects_duplicate_pes(annex):
+    assert annex.synonym_groups() == {5: list(range(32))}  # all local
+    annex.set_entry(1, 9)
+    annex.set_entry(2, 9)
+    annex.set_entry(3, 7)
+    groups = annex.synonym_groups()
+    assert groups[9] == [1, 2]
+    assert 7 not in groups  # only one entry names PE 7
+
+
+def test_find_entry_for(annex):
+    annex.set_entry(4, 12)
+    assert annex.find_entry_for(12) == 4
+    assert annex.find_entry_for(5) == 0      # local PE via entry 0
+    assert annex.find_entry_for(99) is None
+
+
+def test_bounds(annex):
+    with pytest.raises(ValueError):
+        annex.entry(32)
+    with pytest.raises(ValueError):
+        annex.set_entry(-1, 0)
+    with pytest.raises(ValueError):
+        annex.compose_address(0, 1 << 33)

@@ -1,0 +1,70 @@
+"""Unit tests for fetch&increment / atomic swap (paper section 7.4)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import cycles_to_us, t3d_machine_params
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_remote_fetch_inc_costs_about_a_microsecond(machine):
+    unit = machine.node(0).atomics
+    cycles, old = unit.fetch_increment(0.0, 1, 0)
+    assert cycles_to_us(cycles) == pytest.approx(1.0, rel=0.01)
+    assert old == 0
+
+
+def test_local_fetch_inc_is_off_chip_access(machine):
+    unit = machine.node(0).atomics
+    cycles, _ = unit.fetch_increment(0.0, 0, 0)
+    assert cycles == pytest.approx(23.0)
+
+
+def test_fetch_inc_returns_distinct_tickets(machine):
+    """Two requesters always draw different queue slots — the property
+    the paper's N-to-1 queue construction needs."""
+    a = machine.node(0).atomics
+    b = machine.node(1).atomics
+    tickets = []
+    for _ in range(4):
+        _, t0 = a.fetch_increment(0.0, 1, 0)
+        tickets.append(t0)
+        _, t1 = b.fetch_increment(0.0, 1, 0)
+        tickets.append(t1)
+    assert tickets == list(range(8))
+    assert machine.node(1).atomics.register_value(0) == 8
+
+
+def test_fetch_inc_custom_amount(machine):
+    unit = machine.node(0).atomics
+    unit.fetch_increment(0.0, 1, 1, amount=5)
+    assert machine.node(1).atomics.register_value(1) == 5
+
+
+def test_two_registers_independent(machine):
+    unit = machine.node(0).atomics
+    unit.fetch_increment(0.0, 1, 0)
+    assert machine.node(1).atomics.register_value(0) == 1
+    assert machine.node(1).atomics.register_value(1) == 0
+
+
+def test_atomic_swap(machine):
+    machine.node(1).memsys.memory.store(0x100, "before")
+    machine.node(1).memsys.l1.fill(0x100)
+    unit = machine.node(0).atomics
+    cycles, old = unit.atomic_swap(0.0, 1, 0x100, "after")
+    assert old == "before"
+    assert machine.node(1).memsys.memory.load(0x100) == "after"
+    assert not machine.node(1).memsys.l1.contains(0x100)
+    assert cycles == pytest.approx(150.0)
+
+
+def test_register_bounds(machine):
+    with pytest.raises(ValueError):
+        machine.node(0).atomics.fetch_increment(0.0, 1, 2)
+    with pytest.raises(ValueError):
+        machine.node(0).atomics.register_value(-1)

@@ -1,0 +1,78 @@
+"""Unit tests for the hardware fuzzy barrier (paper section 7.5)."""
+
+import pytest
+
+from repro.params import BarrierParams
+from repro.shell.barrier import HardwareBarrier
+
+
+@pytest.fixture
+def barrier():
+    return HardwareBarrier(BarrierParams(), num_pes=4)
+
+
+def test_not_complete_until_all_arrive(barrier):
+    for pe in range(3):
+        barrier.start(pe, now=float(pe * 10))
+    assert not barrier.all_arrived(0)
+    barrier.start(3, now=100.0)
+    assert barrier.all_arrived(0)
+
+
+def test_settle_time_tracks_last_arrival(barrier):
+    arrivals = [5.0, 50.0, 20.0, 10.0]
+    for pe, t in enumerate(arrivals):
+        barrier.start(pe, now=t)
+    assert barrier.settle_time(0) == pytest.approx(50.0 + 5.0 + 25.0)
+
+
+def test_wait_exit_time(barrier):
+    for pe in range(4):
+        barrier.start(pe, now=0.0)
+    # A fast processor polls: exits at settle + poll.
+    exit_time = barrier.wait(0, 0, now=1.0)
+    assert exit_time == pytest.approx(5.0 + 25.0 + 5.0)
+    # A slow processor arriving after settle exits almost immediately.
+    exit_time = barrier.wait(1, 0, now=1_000.0)
+    assert exit_time == pytest.approx(1_005.0)
+
+
+def test_settle_before_all_arrived_raises(barrier):
+    barrier.start(0, 0.0)
+    with pytest.raises(RuntimeError):
+        barrier.settle_time(0)
+
+
+def test_epochs_are_independent(barrier):
+    for pe in range(4):
+        barrier.start(pe, now=0.0)     # epoch 0
+    barrier.start(0, now=100.0)        # PE 0 races ahead into epoch 1
+    assert barrier.all_arrived(0)
+    assert not barrier.all_arrived(1)
+    for pe in range(1, 4):
+        barrier.start(pe, now=200.0)
+    assert barrier.all_arrived(1)
+
+
+def test_end_resets_for_reuse(barrier):
+    for pe in range(4):
+        barrier.start(pe, now=0.0)
+    for pe in range(4):
+        barrier.end(pe, 0, now=50.0)
+    assert barrier.barriers_completed == 1
+
+
+def test_double_start_same_epoch_impossible(barrier):
+    barrier.start(0, 0.0)
+    barrier.start(0, 1.0)              # joins epoch 1, fine
+    # Internal safety: direct double-arrival in one epoch is an error.
+    barrier._epoch_of_pe[0] = 0
+    with pytest.raises(RuntimeError):
+        barrier.start(0, 2.0)
+
+
+def test_pe_bounds(barrier):
+    with pytest.raises(ValueError):
+        barrier.start(4, 0.0)
+    with pytest.raises(ValueError):
+        HardwareBarrier(BarrierParams(), num_pes=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the block-transfer engine (paper section 6.2)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import cycles_to_us, mb_per_s, t3d_machine_params
+
+KB = 1024
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_startup_is_180_microseconds(machine):
+    blt = machine.node(0).blt
+    initiate, transfer = blt.start_read(0.0, 1, 0, 0x10000, 8)
+    assert cycles_to_us(initiate) == pytest.approx(180.0, rel=0.01)
+
+
+def test_large_read_bandwidth_approaches_140_mb_s(machine):
+    blt = machine.node(0).blt
+    nbytes = 4 * KB * KB
+    cycles = blt.read_blocking(0.0, 1, 0, 0x100000, nbytes)
+    assert mb_per_s(nbytes, cycles) == pytest.approx(140.0, rel=0.05)
+
+
+def test_small_transfer_dominated_by_startup(machine):
+    blt = machine.node(0).blt
+    cycles = blt.read_blocking(0.0, 1, 0, 0x10000, 64)
+    assert mb_per_s(64, cycles) < 1.0      # startup swamps everything
+
+
+def test_read_copies_data(machine):
+    src = machine.node(1).memsys.memory
+    for i in range(8):
+        src.store(i * 8, 100 + i)
+    blt = machine.node(0).blt
+    blt.read_blocking(0.0, 1, 0, 0x20000, 64)
+    dst = machine.node(0).memsys.memory
+    assert dst.load_range(0x20000, 8) == [100 + i for i in range(8)]
+
+
+def test_write_copies_and_invalidates(machine):
+    src = machine.node(0).memsys.memory
+    src.store(0x30000, "x")
+    machine.node(1).memsys.l1.fill(0x40000)
+    blt = machine.node(0).blt
+    blt.write_blocking(0.0, 1, 0x40000, 0x30000, 8)
+    assert machine.node(1).memsys.memory.load(0x40000) == "x"
+    assert not machine.node(1).memsys.l1.contains(0x40000)
+
+
+def test_write_notifies_store_arrival(machine):
+    blt = machine.node(0).blt
+    blt.write_blocking(0.0, 1, 0x50000, 0, 256)
+    assert machine.node(1).bytes_arrived_total() == 256
+
+
+def test_strided_read_gathers(machine):
+    src = machine.node(1).memsys.memory
+    for i in range(4):
+        src.store(i * 64, f"s{i}")
+    blt = machine.node(0).blt
+    initiate, transfer = blt.start_read(0.0, 1, 0, 0x60000, 32,
+                                        stride_bytes=64)
+    dst = machine.node(0).memsys.memory
+    assert dst.load_range(0x60000, 4) == ["s0", "s1", "s2", "s3"]
+    # Stride setup adds to initiation cost.
+    flat, _ = blt.start_read(0.0, 1, 0, 0x70000, 32)
+    assert initiate > flat
+
+
+def test_nonblocking_overlap(machine):
+    blt = machine.node(0).blt
+    initiate, transfer = blt.start_read(0.0, 1, 0, 0x80000, 64 * KB)
+    # Initiation charge is just the OS call; completion is later.
+    assert transfer.completion_time > initiate
+    done = blt.wait(initiate + 1_000.0, transfer)
+    assert done == pytest.approx(transfer.completion_time)
+    # Waiting after completion costs nothing extra.
+    assert blt.wait(transfer.completion_time + 5.0, transfer) == (
+        transfer.completion_time + 5.0)
+
+
+def test_bad_size_rejected(machine):
+    with pytest.raises(ValueError):
+        machine.node(0).blt.read_blocking(0.0, 1, 0, 0, 0)

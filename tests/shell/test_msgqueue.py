@@ -1,0 +1,59 @@
+"""Unit tests for the hardware message queue (paper section 7.3)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import cycles_to_us, t3d_machine_params
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_send_costs_122_cycles(machine):
+    cost = machine.node(0).msgq.send(0.0, 1, (1, 2, 3, 4))
+    assert cost == pytest.approx(122.0)
+    assert cycles_to_us(cost) == pytest.approx(0.813, rel=0.01)
+
+
+def test_payload_limited_to_four_words(machine):
+    with pytest.raises(ValueError):
+        machine.node(0).msgq.send(0.0, 1, (1, 2, 3, 4, 5))
+
+
+def test_arrival_includes_flight(machine):
+    machine.node(0).msgq.send(0.0, 1, ("hello",))
+    inbox = machine.node(1).msgq
+    assert inbox.earliest_arrival() == pytest.approx(122.0 + 2.5)
+    assert not inbox.message_available(100.0)
+    assert inbox.message_available(125.0)
+
+
+def test_receive_charges_interrupt_cost(machine):
+    machine.node(0).msgq.send(0.0, 1, ("x",))
+    cycles, msg = machine.node(1).msgq.receive(1_000.0)
+    assert msg.payload == ("x",)
+    assert msg.src_pe == 0
+    assert cycles_to_us(cycles) == pytest.approx(25.0, rel=0.01)
+
+
+def test_handler_dispatch_adds_33_us(machine):
+    machine.node(0).msgq.send(0.0, 1, ("x",))
+    cycles, _ = machine.node(1).msgq.receive(1_000.0, via_handler=True)
+    assert cycles_to_us(cycles) == pytest.approx(25.0 + 33.0, rel=0.01)
+
+
+def test_receive_in_arrival_order(machine):
+    machine.node(0).msgq.send(0.0, 1, ("first",))
+    machine.node(0).msgq.send(200.0, 1, ("second",))
+    _, m1 = machine.node(1).msgq.receive(10_000.0)
+    _, m2 = machine.node(1).msgq.receive(10_000.0)
+    assert m1.payload == ("first",)
+    assert m2.payload == ("second",)
+
+
+def test_receive_before_arrival_raises(machine):
+    machine.node(0).msgq.send(0.0, 1, ("x",))
+    with pytest.raises(RuntimeError):
+        machine.node(1).msgq.receive(50.0)

@@ -1,0 +1,168 @@
+"""Unit tests for the remote access unit (paper sections 4, 5.3).
+
+The headline calibrations asserted here:
+
+* uncached remote read ~91 cycles (adjacent node, on-page)
+* cached remote read ~114 cycles, then 1-cycle local hits
+* acknowledged (blocking) write ~130 cycles
+* non-blocking stores: ~17 cycles steady state, merging below 32 B
+* remote off-page penalty ~15 cycles
+* the status-bit/write-buffer hazard (section 4.3)
+* stale cached reads (section 4.4)
+"""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+
+KB = 1024
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def warm(unit, pe, offset):
+    """Open the target DRAM page so steady-state costs are measured."""
+    unit.uncached_read(0.0, pe, offset)
+
+
+def test_uncached_read_91_cycles(machine):
+    unit = machine.node(0).remote
+    warm(unit, 1, 0x100)
+    cycles, _ = unit.uncached_read(10_000.0, 1, 0x108)
+    assert cycles == pytest.approx(91.0)
+
+
+def test_uncached_read_remote_off_page_adds_15(machine):
+    unit = machine.node(0).remote
+    warm(unit, 1, 0)
+    cycles, _ = unit.uncached_read(10_000.0, 1, 64 * KB)  # same bank, new row
+    assert cycles == pytest.approx(91.0 + 15.0 + 9.0)
+    cycles, _ = unit.uncached_read(20_000.0, 1, 16 * KB)  # new bank, new row
+    assert cycles == pytest.approx(91.0 + 15.0)
+
+
+def test_uncached_read_returns_target_value(machine):
+    machine.node(1).memsys.memory.store(0x200, 42.5)
+    cycles, value = machine.node(0).remote.uncached_read(0.0, 1, 0x200)
+    assert value == 42.5
+
+
+def test_cached_read_114_then_local_hits(machine):
+    node0 = machine.node(0)
+    machine.node(1).memsys.memory.store(0x300, "v")
+    full = node0.annex.compose_address(1, 0x300)
+    warm(node0.remote, 1, 0x2000)
+    cycles, value = node0.remote.cached_read(10_000.0, 1, 0x300, full)
+    assert cycles == pytest.approx(114.0)
+    assert value == "v"
+    # Same line, different word: a 1-cycle local hit.
+    cycles, _ = node0.remote.cached_read(10_200.0, 1, 0x308, full + 8)
+    assert cycles == pytest.approx(1.0)
+
+
+def test_cached_read_goes_stale_until_invalidated(machine):
+    node0 = machine.node(0)
+    target_mem = machine.node(1).memsys.memory
+    target_mem.store(0x400, "old")
+    full = node0.annex.compose_address(1, 0x400)
+    node0.remote.cached_read(0.0, 1, 0x400, full)
+    target_mem.store(0x400, "new")          # owner updates: no coherence
+    _, value = node0.remote.cached_read(500.0, 1, 0x400, full)
+    assert value == "old"                   # the section 4.4 pitfall
+    flush = node0.remote.invalidate_cached_line(full)
+    assert flush == pytest.approx(23.0)
+    _, value = node0.remote.cached_read(1_000.0, 1, 0x400, full)
+    assert value == "new"
+
+
+def test_nonblocking_store_steady_state_17_cycles(machine):
+    unit = machine.node(0).remote
+    node0 = machine.node(0)
+    now = 0.0
+    costs = []
+    for i in range(64):
+        full = node0.annex.compose_address(1, i * 32)
+        c = unit.store(now, 1, i * 32, i, full)
+        costs.append(c)
+        now += c
+    steady = sum(costs[16:]) / len(costs[16:])
+    assert steady == pytest.approx(17.0, abs=0.5)
+
+
+def test_nonblocking_store_merging_below_line(machine):
+    unit = machine.node(0).remote
+    node0 = machine.node(0)
+    now = 0.0
+    costs = []
+    for i in range(64):
+        full = node0.annex.compose_address(1, i * 8)
+        c = unit.store(now, 1, i * 8, i, full)
+        costs.append(c)
+        now += c
+    steady = sum(costs[16:]) / len(costs[16:])
+    # 4 merged words per entry: ~17/4 cycles per store.
+    assert steady == pytest.approx(17.0 / 4, abs=1.0)
+
+
+def test_store_value_lands_in_target_memory(machine):
+    node0 = machine.node(0)
+    full = node0.annex.compose_address(1, 0x500)
+    node0.remote.store(0.0, 1, 0x500, "payload", full)
+    machine.settle()
+    assert machine.node(1).memsys.memory.load(0x500) == "payload"
+
+
+def test_store_invalidates_target_cache_line(machine):
+    target = machine.node(1)
+    target.memsys.l1.fill(0x600)
+    node0 = machine.node(0)
+    full = node0.annex.compose_address(1, 0x600)
+    node0.remote.store(0.0, 1, 0x600, 1, full)
+    machine.settle()
+    assert not target.memsys.l1.contains(0x600)
+
+
+def test_blocking_write_130_cycles(machine):
+    node0 = machine.node(0)
+    warm(node0.remote, 1, 0x4000)
+    full = node0.annex.compose_address(1, 0x4008)
+    cycles = node0.remote.blocking_write(10_000.0, 1, 0x4008, 7, full)
+    assert cycles == pytest.approx(130.0, abs=2.0)
+
+
+def test_status_bit_hazard_without_memory_barrier(machine):
+    """Section 4.3: the status bit is clear while the write sits in the
+    write buffer, so polling without an mb reports completion early."""
+    node0 = machine.node(0)
+    full = node0.annex.compose_address(1, 0x700)
+    t = 0.0 + node0.remote.store(0.0, 1, 0x700, 1, full)
+    # Poll immediately: the store has NOT drained, status lies.
+    assert node0.remote.status_says_complete(t)
+    # After an mb the write has left the buffer and status is honest.
+    t = node0.memsys.memory_barrier(t)
+    assert not node0.remote.status_says_complete(t)
+    done = node0.remote.wait_for_acks(t)
+    assert node0.remote.status_says_complete(done)
+
+
+def test_store_arrival_recorded_for_store_sync(machine):
+    node0 = machine.node(0)
+    full = node0.annex.compose_address(1, 0x800)
+    node0.remote.store(0.0, 1, 0x800, 1, full)
+    machine.settle()
+    assert machine.node(1).bytes_arrived_total() == 8
+
+
+def test_reads_can_bypass_pending_remote_store(machine):
+    """Remote reads do not snoop the local write buffer — the weak
+    ordering the Split-C layer must paper over."""
+    node0 = machine.node(0)
+    machine.node(1).memsys.memory.store(0x900, "old")
+    full = node0.annex.compose_address(1, 0x900)
+    node0.remote.store(0.0, 1, 0x900, "new", full)
+    _, value = node0.remote.uncached_read(1.0, 1, 0x900)
+    assert value == "old"

@@ -1,0 +1,57 @@
+"""Unit tests for the measurement-driven mechanism selection."""
+
+import pytest
+
+from repro.splitc.annex_policy import SingleAnnexPolicy
+from repro.splitc.codegen import Measurements, default_plan, derive_plan
+
+KB = 1024
+
+
+def test_default_plan_matches_paper_decisions():
+    plan = default_plan()
+    assert plan.read_mechanism == "uncached"
+    assert plan.bulk_read_blt_threshold == 16 * KB
+    assert 6 * KB < plan.bulk_get_blt_threshold < 9 * KB
+    assert plan.bulk_write_blt_threshold is None
+    assert not plan.annex_skip_when_unchanged
+
+
+def test_bulk_get_threshold_near_7900_bytes():
+    plan = derive_plan(Measurements())
+    # 27,000 cycles / 27.3 cycles-per-word * 8 bytes ~= 7,912 bytes.
+    assert plan.bulk_get_blt_threshold == pytest.approx(7_900, abs=50)
+
+
+def test_read_mechanism_flips_if_flushes_were_free():
+    m = Measurements(cached_read_cycles=60.0, flush_line_cycles=0.0)
+    plan = derive_plan(m)
+    assert plan.read_mechanism == "cached"
+
+
+def test_blt_threshold_scales_with_startup():
+    cheap_blt = Measurements(blt_startup_cycles=2_700.0)
+    plan = derive_plan(cheap_blt)
+    assert plan.bulk_read_blt_threshold == 2 * KB
+    assert plan.bulk_get_blt_threshold < 1 * KB
+
+
+def test_plan_makes_conservative_single_policy():
+    policy = default_plan().make_annex_policy()
+    assert isinstance(policy, SingleAnnexPolicy)
+    assert not policy.skip_when_unchanged
+
+
+def test_notes_explain_decisions():
+    plan = default_plan()
+    text = " ".join(plan.notes)
+    assert "uncached" in text
+    assert "single register" in text
+    assert "BLT" in text
+
+
+def test_faster_prefetch_pushes_crossover_up():
+    fast_pf = Measurements(prefetch_per_word_cycles=12.0)
+    slow_pf = Measurements(prefetch_per_word_cycles=40.0)
+    assert (derive_plan(fast_pf).bulk_read_blt_threshold
+            > derive_plan(slow_pf).bulk_read_blt_threshold)

@@ -1,0 +1,111 @@
+"""Tests for the Split-C collectives."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.collectives import (
+    all_gather,
+    all_reduce,
+    broadcast,
+    reduce,
+    scan,
+)
+from repro.splitc.runtime import run_splitc
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 2, 2)))
+
+
+def test_broadcast(machine):
+    def program(sc):
+        value = yield from broadcast(sc, root=3, value=(
+            "payload" if sc.my_pe == 3 else None))
+        return value
+
+    results, _ = run_splitc(machine, program)
+    assert results == ["payload"] * 8
+
+
+def test_reduce_sum(machine):
+    def program(sc):
+        return (yield from reduce(sc, root=0, value=sc.my_pe + 1))
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] == sum(range(1, 9))
+    assert all(r is None for r in results[1:])
+
+
+def test_reduce_custom_op(machine):
+    def program(sc):
+        return (yield from reduce(sc, root=2, value=sc.my_pe,
+                                  op=max))
+
+    results, _ = run_splitc(machine, program)
+    assert results[2] == 7
+
+
+def test_all_gather(machine):
+    def program(sc):
+        return (yield from all_gather(sc, 10 * sc.my_pe))
+
+    results, _ = run_splitc(machine, program)
+    expected = [10 * pe for pe in range(8)]
+    assert all(r == expected for r in results)
+
+
+def test_all_reduce(machine):
+    def program(sc):
+        return (yield from all_reduce(sc, sc.my_pe + 1))
+
+    results, _ = run_splitc(machine, program)
+    assert results == [36] * 8
+
+
+def test_scan_exclusive(machine):
+    def program(sc):
+        return (yield from scan(sc, sc.my_pe + 1))
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] is None
+    assert results[1:] == [1, 3, 6, 10, 15, 21, 28]
+
+
+def test_scan_inclusive(machine):
+    def program(sc):
+        return (yield from scan(sc, 1, exclusive=False))
+
+    results, _ = run_splitc(machine, program)
+    assert results == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_collectives_compose(machine):
+    """A realistic sequence: gather sizes, broadcast a decision,
+    reduce a checksum — scratch reuse must not corrupt values."""
+
+    def program(sc):
+        sizes = yield from all_gather(sc, sc.my_pe * 2)
+        total = yield from all_reduce(sc, sizes[sc.my_pe])
+        decision = yield from broadcast(
+            sc, root=0, value=("go" if sc.my_pe == 0 else None))
+        check = yield from reduce(sc, root=0, value=total)
+        return (total, decision, check)
+
+    results, _ = run_splitc(machine, program)
+    assert all(r[0] == 56 for r in results)
+    assert all(r[1] == "go" for r in results)
+    assert results[0][2] == 56 * 8
+
+
+def test_collective_costs_scale_with_pes():
+    """Flat collectives cost O(P) stores on the busiest processor."""
+    def program(sc):
+        before = sc.ctx.clock
+        yield from all_gather(sc, 1)
+        return sc.ctx.clock - before
+
+    small, _ = run_splitc(Machine(t3d_machine_params((2, 1, 1))), program)
+    large, _ = run_splitc(Machine(t3d_machine_params((2, 2, 2))), program)
+    assert max(large) > max(small)

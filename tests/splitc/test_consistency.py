@@ -1,0 +1,86 @@
+"""Tests for global/local consistency control (paper section 4.5)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.consistency import PrivateRegion, as_local_offset
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import SplitC
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def make_sc(machine, pe=0):
+    return SplitC(machine.make_contexts()[pe])
+
+
+def test_as_local_offset_extracts_address(machine):
+    sc = make_sc(machine)
+    gp = GlobalPtr(0, 0x1234)
+    assert as_local_offset(sc, gp) == 0x1234
+
+
+def test_as_local_offset_rejects_remote_pointers(machine):
+    sc = make_sc(machine)
+    with pytest.raises(ValueError):
+        as_local_offset(sc, GlobalPtr(1, 0x100))
+
+
+def test_local_pointer_write_is_buffered_and_remotely_invisible(machine):
+    """The exposure itself: a local-pointer store sits in the write
+    buffer, so another processor's remote read sees the old value."""
+    sc = make_sc(machine)
+    machine.node(0).memsys.memory.store(0x500, "old")
+    offset = as_local_offset(sc, GlobalPtr(0, 0x500))
+    sc.ctx.local_write(offset, "new")
+    # Remote read from PE 1 goes to memory, not PE 0's write buffer.
+    _, seen = machine.node(1).remote.uncached_read(
+        sc.ctx.clock, 0, 0x500)
+    assert seen == "old"
+
+
+def test_private_region_restores_visibility(machine):
+    sc = make_sc(machine)
+    machine.node(0).memsys.memory.store(0x600, "old")
+    with PrivateRegion(sc):
+        offset = as_local_offset(sc, GlobalPtr(0, 0x600))
+        sc.ctx.local_write(offset, "new")
+    # The region exit drained the buffer: now the remote read is fresh.
+    _, seen = machine.node(1).remote.uncached_read(
+        sc.ctx.clock, 0, 0x600)
+    assert seen == "new"
+
+
+def test_private_region_orders_prior_writes_before_reads(machine):
+    """Entry barrier: writes buffered before the region cannot be
+    overtaken by reads (to synonyms) inside it."""
+    sc = make_sc(machine)
+    node = machine.node(0)
+    node.memsys.memory.store(0x700, "old")
+    synonym = 0x700 | (1 << 32)
+    sc.ctx.local_write(0x700, "new")
+    # Without the region, a synonym read would be stale:
+    _, stale = node.memsys.read(sc.ctx.clock, synonym)
+    assert stale == "old"
+    with PrivateRegion(sc):
+        _, fresh = node.memsys.read(sc.ctx.clock, synonym)
+        assert fresh == "new"
+
+
+def test_private_region_charges_barrier_costs(machine):
+    sc = make_sc(machine)
+    before = sc.ctx.clock
+    with PrivateRegion(sc):
+        pass
+    assert sc.ctx.clock >= before + 2 * 4.0   # two mb instructions
+
+
+def test_private_region_propagates_exceptions(machine):
+    sc = make_sc(machine)
+    with pytest.raises(RuntimeError):
+        with PrivateRegion(sc):
+            raise RuntimeError("boom")

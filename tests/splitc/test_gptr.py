@@ -1,0 +1,88 @@
+"""Unit tests for global pointers (paper sections 3.1, 3.3)."""
+
+import pytest
+
+from repro.splitc.gptr import ADDR_MASK, GlobalPtr, PE_SHIFT
+
+
+def test_encode_layout():
+    gp = GlobalPtr(pe=3, addr=0x1000)
+    assert gp.encode() == (3 << 48) | 0x1000
+
+
+def test_encode_decode_round_trip():
+    for pe, addr in [(0, 0), (7, 0x1234), (65535, ADDR_MASK)]:
+        gp = GlobalPtr(pe, addr)
+        assert GlobalPtr.decode(gp.encode()) == gp
+
+
+def test_same_size_as_local_pointer():
+    gp = GlobalPtr(pe=65535, addr=ADDR_MASK)
+    assert gp.encode() < (1 << 64)
+
+
+def test_local_add_stays_on_processor():
+    gp = GlobalPtr(2, 0x100)
+    moved = gp.local_add(64)
+    assert moved.pe == 2
+    assert moved.addr == 0x140
+
+
+def test_local_add_never_overflows_into_pe_bits():
+    # Section 3.3: local arithmetic on a global pointer is exactly
+    # local-pointer arithmetic for any valid offset.
+    gp = GlobalPtr(5, 0x7FFF_0000)
+    assert gp.local_add(0x10000).pe == 5
+
+
+def test_global_add_processor_varies_fastest():
+    gp = GlobalPtr(0, 0x100)
+    assert gp.global_add(1, num_pes=4) == GlobalPtr(1, 0x100)
+    assert gp.global_add(3, num_pes=4) == GlobalPtr(3, 0x100)
+
+
+def test_global_add_wraps_to_next_offset():
+    gp = GlobalPtr(0, 0x100)
+    wrapped = gp.global_add(4, num_pes=4)
+    assert wrapped == GlobalPtr(0, 0x108)
+    assert gp.global_add(7, num_pes=4) == GlobalPtr(3, 0x108)
+
+
+def test_global_add_from_nonzero_pe():
+    gp = GlobalPtr(2, 0)
+    assert gp.global_add(3, num_pes=4) == GlobalPtr(1, 8)
+
+
+def test_global_add_elem_bytes():
+    gp = GlobalPtr(0, 0)
+    assert gp.global_add(4, num_pes=4, elem_bytes=16).addr == 16
+
+
+def test_local_diff():
+    a = GlobalPtr(1, 0x200)
+    b = GlobalPtr(1, 0x180)
+    assert a.local_diff(b) == 0x80
+    with pytest.raises(ValueError):
+        a.local_diff(GlobalPtr(2, 0x180))
+
+
+def test_null():
+    assert GlobalPtr.null().is_null()
+    assert not GlobalPtr.null()
+    assert GlobalPtr(0, 8)
+    assert not GlobalPtr(0, 8).is_null()
+
+
+def test_is_local_to():
+    gp = GlobalPtr(3, 0)
+    assert gp.is_local_to(3)
+    assert not gp.is_local_to(0)
+
+
+def test_field_bounds():
+    with pytest.raises(ValueError):
+        GlobalPtr(1 << 16, 0)
+    with pytest.raises(ValueError):
+        GlobalPtr(0, 1 << 48)
+    with pytest.raises(ValueError):
+        GlobalPtr.decode(1 << 64)

@@ -1,0 +1,136 @@
+"""Unit tests for spread arrays (paper sections 1.1, 3.1)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.runtime import run_splitc
+from repro.splitc.spread import SpreadArray
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+def test_cyclic_layout(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 10)
+        return [(arr.owner(i), arr.local_offset(i)) for i in range(10)]
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    layout = results[0]
+    assert [pe for pe, _ in layout] == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+    # Element 4 sits one word above element 0 on the same processor.
+    assert layout[4][1] == layout[0][1] + 8
+    # All threads agree (symmetric allocation).
+    assert all(r == layout for r in results)
+
+
+def test_write_read_round_trip_across_pes(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 8)
+        for i in arr.my_indices():
+            arr.write(i, 10 * i)
+        yield from sc.barrier()
+        return [arr.read(i) for i in range(8)]
+
+    results, _ = run_splitc(machine, program)
+    for values in results:
+        assert values == [0, 10, 20, 30, 40, 50, 60, 70]
+
+
+def test_put_then_sync(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 4)
+        if sc.my_pe == 0:
+            for i in range(4):
+                arr.put(i, i + 1)
+            sc.sync()
+        yield from sc.barrier()
+        return arr.read(sc.my_pe)
+
+    results, _ = run_splitc(machine, program)
+    assert results == [1, 2, 3, 4]
+
+
+def test_my_indices_partition(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 11)
+        return list(arr.my_indices())
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    seen = sorted(i for indices in results for i in indices)
+    assert seen == list(range(11))
+
+
+def test_pointer_matches_owner_and_offset(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 6)
+        gp = arr.pointer(5)
+        return (gp.pe, gp.addr == arr.local_offset(5))
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] == (1, True)
+
+
+def test_bounds(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 4)
+        try:
+            arr.owner(4)
+        except IndexError:
+            return "caught"
+        return "missed"
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    assert all(r == "caught" for r in results)
+
+
+def test_bulk_read_range(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 20)
+        for i in arr.my_indices():
+            sc.ctx.node.memsys.memory.store(arr.local_offset(i), 100 + i)
+        yield from sc.barrier()
+        dst = sc.ctx.node.heap.alloc(20 * 8)
+        arr.bulk_read_range(3, 17, dst)
+        sc.ctx.memory_barrier()
+        return sc.ctx.node.memsys.memory.load_range(dst, 14)
+
+    results, _ = run_splitc(machine, program)
+    assert all(r == [100 + i for i in range(3, 17)] for r in results)
+
+
+def test_bulk_read_full_and_empty_ranges(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 8)
+        for i in arr.my_indices():
+            sc.ctx.node.memsys.memory.store(arr.local_offset(i), i * i)
+        yield from sc.barrier()
+        dst = sc.ctx.node.heap.alloc(8 * 8)
+        arr.bulk_read_range(0, 8, dst)
+        arr.bulk_read_range(5, 5, dst)       # no-op
+        sc.ctx.memory_barrier()
+        return sc.ctx.node.memsys.memory.load_range(dst, 8)
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] == [i * i for i in range(8)]
+
+
+def test_bulk_read_range_bounds(machine):
+    def program(sc):
+        arr = SpreadArray(sc, 4)
+        try:
+            arr.bulk_read_range(0, 5, 0x100000)
+        except IndexError:
+            return "caught"
+        return "missed"
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    assert all(r == "caught" for r in results)

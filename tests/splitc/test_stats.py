@@ -1,0 +1,99 @@
+"""Tests for the per-operation cost accounting."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import SplitC, run_splitc
+from repro.splitc.stats import OpStats
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_counts_and_cycles_by_class(machine):
+    sc = SplitC(machine.make_contexts()[0])
+    machine.node(1).memsys.dram.access(0x1000)
+    for i in range(3):
+        sc.read(GlobalPtr(1, 0x1000 + i * 8))
+    sc.write(GlobalPtr(1, 0x2000), 1)
+    sc.put(GlobalPtr(1, 0x3000), 2)
+    sc.sync()
+    sc.read(GlobalPtr(0, 0x100))
+
+    assert sc.stats.count("read (remote)") == 3
+    assert sc.stats.count("write (remote)") == 1
+    assert sc.stats.count("put (issue)") == 1
+    assert sc.stats.count("sync") == 1
+    assert sc.stats.count("read (local)") == 1
+    # Remote reads cost ~128 cycles each.
+    assert sc.stats.ops["read (remote)"].mean_cycles == pytest.approx(
+        128.0, abs=3.0)
+
+
+def test_stats_total_matches_clock(machine):
+    sc = SplitC(machine.make_contexts()[0])
+    for i in range(4):
+        sc.read(GlobalPtr(1, i * 8))
+        sc.put(GlobalPtr(1, 0x4000 + i * 8), i)
+    sc.sync()
+    # Every charged cycle was attributed to some operation class.
+    assert sc.stats.total_cycles == pytest.approx(sc.ctx.clock)
+
+
+def test_barrier_and_all_store_sync_recorded(machine):
+    def program(sc):
+        sc.store(GlobalPtr((sc.my_pe + 1) % 2, sc.all_alloc(8)), 1)
+        yield from sc.all_store_sync()
+        yield from sc.barrier()
+        return (sc.stats.count("all_store_sync"),
+                sc.stats.count("barrier"))
+
+    results, _ = run_splitc(machine, program)
+    assert all(r == (1, 1) for r in results)
+
+
+def test_bulk_ops_recorded(machine):
+    sc = SplitC(machine.make_contexts()[0])
+    sc.bulk_read(0x100000, GlobalPtr(1, 0), 256)
+    sc.bulk_write(GlobalPtr(1, 0x8000), 0x100000, 256)
+    assert sc.stats.count("bulk_read") == 1
+    assert sc.stats.count("bulk_write") == 1
+    assert sc.stats.cycles("bulk_read") > 0
+
+
+def test_merge():
+    a = OpStats()
+    b = OpStats()
+    a.record("x", 10.0)
+    a.record("x", 20.0)
+    b.record("x", 5.0)
+    b.record("y", 1.0)
+    merged = a.merge(b)
+    assert merged.count("x") == 3
+    assert merged.cycles("x") == pytest.approx(35.0)
+    assert merged.count("y") == 1
+    # Sources unchanged.
+    assert a.count("y") == 0
+
+
+def test_format_sorted_by_cost():
+    stats = OpStats()
+    stats.record("cheap", 1.0)
+    stats.record("expensive", 1000.0)
+    text = stats.format(title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines.index(next(l for l in lines if "expensive" in l)) < \
+        lines.index(next(l for l in lines if "cheap" in l))
+    assert "total" in lines[-1]
+
+
+def test_empty_stats():
+    stats = OpStats()
+    assert stats.total_cycles == 0.0
+    assert stats.count("anything") == 0
+    assert "total" in stats.format()

@@ -1,0 +1,108 @@
+"""Tests for region-scoped store_sync (the message-driven extension)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 2, 1)))
+
+
+def test_region_scoped_wait_ignores_other_regions(machine):
+    """PE 0 waits for bytes in region B; stores into region A must not
+    satisfy it."""
+
+    def program(sc):
+        region_a = sc.all_alloc(64)
+        region_b = sc.all_alloc(64)
+        if sc.my_pe == 0:
+            yield from sc.store_sync(8, region=(region_b, region_b + 64))
+            sc.ctx.memory_barrier()
+            return sc.ctx.local_read(region_b)
+        if sc.my_pe == 1:
+            # Noise into region A first, then the real payload into B.
+            for i in range(4):
+                sc.store(GlobalPtr(0, region_a + i * 8), "noise")
+            sc.ctx.charge(5_000.0)          # delay the payload
+            sc.store(GlobalPtr(0, region_b), "payload")
+            sc.ctx.memory_barrier()
+        return None
+        yield  # pragma: no cover
+
+    results, runtimes = run_splitc(machine, program)
+    assert results[0] == "payload"
+    # PE 0 resumed only after the delayed region-B store, not at the
+    # early region-A noise.
+    assert runtimes[0].ctx.clock > 5_000.0
+
+
+def test_region_counts_are_independent(machine):
+    def program(sc):
+        a = sc.all_alloc(64)
+        b = sc.all_alloc(64)
+        if sc.my_pe == 1:
+            sc.store(GlobalPtr(0, a), 1)
+            sc.store(GlobalPtr(0, a + 32), 2)
+            sc.store(GlobalPtr(0, b), 3)
+            sc.ctx.memory_barrier()
+            return None
+        if sc.my_pe == 0:
+            yield from sc.store_sync(16, region=(a, a + 64))
+            yield from sc.store_sync(8, region=(b, b + 64))
+            return (sc.ctx.node.bytes_arrived_total((a, a + 64)),
+                    sc.ctx.node.bytes_arrived_total((b, b + 64)))
+        return None
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] == (16, 8)
+
+
+def test_consecutive_region_syncs_are_cumulative(machine):
+    def program(sc):
+        a = sc.all_alloc(256)
+        region = (a, a + 256)
+        if sc.my_pe == 1:
+            for step in range(3):
+                sc.store(GlobalPtr(0, a + step * 32), step)
+                sc.ctx.memory_barrier()
+                yield from sc.barrier()
+            return None
+        if sc.my_pe == 0:
+            times = []
+            for _ in range(3):
+                yield from sc.store_sync(8, region=region)
+                times.append(sc.ctx.clock)
+                yield from sc.barrier()
+            return times
+        for _ in range(3):
+            yield from sc.barrier()
+        return None
+
+    results, _ = run_splitc(machine, program)
+    times = results[0]
+    assert times == sorted(times)
+    assert len(times) == 3
+
+
+def test_global_and_region_counters_coexist(machine):
+    def program(sc):
+        a = sc.all_alloc(64)
+        if sc.my_pe == 1:
+            sc.store(GlobalPtr(0, a), "x")
+            sc.ctx.memory_barrier()
+            return None
+        if sc.my_pe == 0:
+            yield from sc.store_sync(8)                  # global count
+            yield from sc.store_sync(8, region=(a, a + 64))
+            return True
+        return None
+        yield  # pragma: no cover
+
+    results, _ = run_splitc(machine, program)
+    assert results[0] is True

@@ -1,0 +1,104 @@
+"""Tests for execution traces and the ASCII timeline."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+from repro.splitc.trace import Span, SpanTrace, render_timeline
+
+
+@pytest.fixture
+def machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def test_tracing_off_by_default(machine):
+    def program(sc):
+        sc.read(GlobalPtr(1, 0))
+        return None
+        yield  # pragma: no cover
+
+    _, runtimes = run_splitc(machine, program)
+    assert runtimes[0].trace is None
+
+
+def test_spans_cover_operations(machine):
+    def program(sc):
+        sc.read(GlobalPtr(1, 0))
+        sc.put(GlobalPtr(1, 8), 1)
+        sc.sync()
+        yield from sc.barrier()
+        return None
+
+    _, runtimes = run_splitc(machine, program, trace=True)
+    trace = runtimes[0].trace
+    ops = [span.op for span in trace.spans]
+    assert "read (remote)" in ops
+    assert "put (issue)" in ops
+    assert "sync" in ops
+    assert "barrier" in ops
+    # Spans are well-formed and within the run.
+    for span in trace.spans:
+        assert span.end >= span.start >= 0.0
+        assert span.duration >= 0.0
+
+
+def test_active_at_picks_covering_span():
+    trace = SpanTrace()
+    trace.add("a", 0.0, 100.0)
+    trace.add("b", 100.0, 200.0)
+    assert trace.active_at(50.0) == "a"
+    assert trace.active_at(150.0) == "b"
+    assert trace.active_at(250.0) is None
+    assert trace.end_time == 200.0
+
+
+def test_nested_spans_latest_wins():
+    trace = SpanTrace()
+    trace.add("outer", 0.0, 100.0)
+    trace.add("inner", 20.0, 40.0)
+    assert trace.active_at(30.0) == "inner"
+    assert trace.active_at(60.0) == "outer"
+
+
+def test_render_timeline_layout(machine):
+    def program(sc):
+        for i in range(4):
+            sc.read(GlobalPtr(1 - sc.my_pe, i * 8))
+        yield from sc.barrier()
+        return None
+
+    _, runtimes = run_splitc(machine, program, trace=True)
+    text = render_timeline([sc.trace for sc in runtimes], width=40,
+                           title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("pe0  |")
+    assert lines[2].startswith("pe1  |")
+    assert len(lines[1]) == len(lines[2])
+    assert "cycles/column" in lines[3]
+    assert "barrier" in lines[-1]          # legend
+
+
+def test_render_empty():
+    assert "(no spans recorded)" in render_timeline([SpanTrace()])
+
+
+def test_barrier_skew_visible_in_timeline(machine):
+    """A straggler makes the others' barrier spans long — the timeline
+    shows the wait."""
+    def program(sc):
+        if sc.my_pe == 0:
+            sc.ctx.charge(10_000.0)       # straggler
+        yield from sc.barrier()
+        return None
+
+    _, runtimes = run_splitc(machine, program, trace=True)
+    barrier_spans = {
+        sc.ctx.pe: next(s for s in sc.trace.spans if s.op == "barrier")
+        for sc in runtimes
+    }
+    assert barrier_spans[1].duration > 9_000.0   # waited for pe 0
+    assert barrier_spans[0].duration < 1_000.0

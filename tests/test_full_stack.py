@@ -1,0 +1,131 @@
+"""Full-stack integration: many subsystems composed in one program,
+and one machine reused across phases."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import t3d_machine_params
+from repro.splitc.am import ActiveMessages
+from repro.splitc.collectives import all_reduce, broadcast
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+from repro.splitc.spread import SpreadArray
+from repro.splitc.sync_objects import SpinLock
+
+
+def test_pipeline_of_features_in_one_program():
+    """AM + lock + spread array + bulk + collectives + barriers, all
+    in one SPMD program, with value-level verification at each step."""
+    machine = Machine(t3d_machine_params((2, 2, 1)))
+
+    def program(sc):
+        ctx = sc.ctx
+        checks = {}
+
+        # Phase 1: spread array written by owners, read remotely.
+        arr = SpreadArray(sc, 16)
+        for i in arr.my_indices():
+            arr.write(i, 3 * i)
+        yield from sc.barrier()
+        checks["spread"] = all(
+            arr.read(i) == 3 * i for i in range(16))
+
+        # Phase 2: AM increments into a shared tally on PE 0.
+        am = ActiveMessages(sc)
+        tally = sc.all_alloc(8)
+
+        def bump(am_, src, amount):
+            ctx.local_write(tally, int(ctx.local_read(tally)) + amount)
+
+        handler = am.register_handler(bump)
+        am.attach()
+        if sc.my_pe == 0:
+            ctx.local_write(tally, 0)
+            ctx.memory_barrier()
+        yield from sc.barrier()
+        if sc.my_pe != 0:
+            am.send(0, handler, sc.my_pe)
+        yield from sc.barrier()
+        if sc.my_pe == 0:
+            while am.poll() is not None:
+                pass
+            ctx.memory_barrier()
+            checks["am_tally"] = int(ctx.local_read(tally)) == 1 + 2 + 3
+
+        # Phase 3: a locked read-modify-write on the same tally.
+        lock = SpinLock(sc, owner=0)
+        yield from lock.acquire()
+        value = sc.read(GlobalPtr(0, tally))
+        sc.write(GlobalPtr(0, tally), int(value) + 10)
+        lock.release()
+        yield from sc.barrier()
+        checks["locked_total"] = sc.read(GlobalPtr(0, tally)) == 6 + 40
+
+        # Phase 4: bulk move the spread array's backing into a local
+        # buffer and all_reduce a checksum.
+        dst = ctx.node.heap.alloc(16 * 8)
+        arr.bulk_read_range(0, 16, dst)
+        ctx.memory_barrier()
+        local_sum = sum(int(ctx.node.memsys.memory.load(dst + k * 8))
+                        for k in range(16))
+        total = yield from all_reduce(sc, local_sum)
+        checks["bulk_checksum"] = total == 4 * sum(3 * i
+                                                   for i in range(16))
+
+        # Phase 5: broadcast a verdict.
+        verdict = yield from broadcast(
+            sc, root=0, value=("ok" if sc.my_pe == 0 else None))
+        checks["broadcast"] = verdict == "ok"
+        return checks
+
+    results, _ = run_splitc(machine, program)
+    for pe, checks in enumerate(results):
+        for name, passed in checks.items():
+            assert passed, (pe, name)
+
+
+def test_one_machine_many_apps_sequentially():
+    """Apps can share one machine when run back to back (heaps stay
+    symmetric because every app allocates collectively)."""
+    from repro.apps.stencil import reference_stencil, run_stencil
+    from repro.apps.histogram import run_histogram
+
+    machine = Machine(t3d_machine_params((2, 2, 1)))
+    stencil = run_stencil(machine, cells_per_pe=8, steps=2)
+    ref = reference_stencil(4, 8, 2)
+    for pe in range(4):
+        assert stencil.values[pe] == pytest.approx(ref[pe])
+
+    histogram = run_histogram(machine, num_bins=8, samples_per_pe=20,
+                              method="am")
+    assert histogram.lost_updates == 0
+
+
+def test_clock_monotonicity_across_a_big_program():
+    """Thread clocks never go backwards through any primitive."""
+    machine = Machine(t3d_machine_params((2, 2, 1)))
+
+    def program(sc):
+        ctx = sc.ctx
+        last = [ctx.clock]
+
+        def check():
+            assert ctx.clock >= last[0]
+            last[0] = ctx.clock
+
+        base = sc.all_alloc(64)
+        for i in range(4):
+            sc.put(GlobalPtr((sc.my_pe + 1) % 4, base + i * 8), i)
+            check()
+        sc.sync()
+        check()
+        yield from sc.barrier()
+        check()
+        sc.bulk_read(base, GlobalPtr((sc.my_pe + 2) % 4, base), 32)
+        check()
+        yield from sc.all_store_sync()
+        check()
+        return last[0]
+
+    results, _ = run_splitc(machine, program)
+    assert all(r > 0 for r in results)

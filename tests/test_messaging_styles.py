@@ -1,0 +1,109 @@
+"""Round-trip comparison of the three messaging styles (section 7's
+argument, measured end-to-end at the runtime level):
+
+* hardware message + interrupt-driven receive — fast send, ruinous
+  receive (~25 us);
+* software Active Messages — ~2.9 us deposit + ~1.5 us dispatch;
+* raw signaling store + store_sync — cheapest when no dispatch is
+  needed.
+"""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.params import cycles_to_us, t3d_machine_params
+from repro.splitc.am import ActiveMessages
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+
+def fresh_machine():
+    return Machine(t3d_machine_params((2, 1, 1)))
+
+
+def ping_pong_hardware():
+    def program(ctx):
+        if ctx.pe == 0:
+            start = ctx.clock
+            ctx.charge(ctx.node.msgq.send(ctx.clock, 1, ("ping",)))
+            yield from ctx.wait_message()
+            cycles, msg = ctx.node.msgq.receive(ctx.clock)
+            ctx.charge(cycles)
+            assert msg.payload == ("pong",)
+            return ctx.clock - start
+        yield from ctx.wait_message()
+        cycles, msg = ctx.node.msgq.receive(ctx.clock)
+        ctx.charge(cycles)
+        assert msg.payload == ("ping",)
+        ctx.charge(ctx.node.msgq.send(ctx.clock, 0, ("pong",)))
+        return None
+
+    results, _ = fresh_machine().run_spmd(program)
+    return results[0]
+
+
+def ping_pong_am():
+    def program(sc):
+        am = ActiveMessages(sc)
+        handler = am.register_handler(lambda am_, src, tag: tag)
+        am.attach()
+        yield from sc.barrier()
+        if sc.my_pe == 0:
+            start = sc.ctx.clock
+            am.send(1, handler, "ping")
+            tag = yield from am.wait_and_dispatch()
+            assert tag == "pong"
+            return sc.ctx.clock - start
+        tag = yield from am.wait_and_dispatch()
+        assert tag == "ping"
+        am.send(0, handler, "pong")
+        return None
+
+    results, _ = run_splitc(fresh_machine(), program)
+    return results[0]
+
+
+def ping_pong_stores():
+    def program(sc):
+        base = sc.all_alloc(16)
+        if sc.my_pe == 0:
+            start = sc.ctx.clock
+            sc.store(GlobalPtr(1, base), "ping")
+            sc.ctx.memory_barrier()
+            yield from sc.store_sync(8)
+            return sc.ctx.clock - start
+        yield from sc.store_sync(8)
+        sc.store(GlobalPtr(0, base + 8), "pong")
+        sc.ctx.memory_barrier()
+        return None
+
+    results, _ = run_splitc(fresh_machine(), program)
+    return results[0]
+
+
+def test_hardware_round_trip_dominated_by_interrupts():
+    cycles = ping_pong_hardware()
+    # Two receives at ~25 us each dominate everything else.
+    assert cycles_to_us(cycles) == pytest.approx(2 * 25.0, rel=0.1)
+
+
+def test_am_round_trip_an_order_of_magnitude_cheaper():
+    hw = ping_pong_hardware()
+    am = ping_pong_am()
+    assert am < hw / 4
+    # Deposit + dispatch each way: ~2 * (2.9 + 1.5) us plus waits.
+    assert cycles_to_us(am) == pytest.approx(9.0, abs=3.0)
+
+
+def test_stores_cheapest_when_no_dispatch_needed():
+    am = ping_pong_am()
+    stores = ping_pong_stores()
+    assert stores < am
+    assert cycles_to_us(stores) < 2.0
+
+
+def test_ranking_matches_section7():
+    hw = ping_pong_hardware()
+    am = ping_pong_am()
+    stores = ping_pong_stores()
+    assert stores < am < hw

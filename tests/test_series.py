@@ -1,0 +1,56 @@
+"""Tests for the figure-series exporter."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.series import SERIES, generate_series, to_csv
+
+
+def test_every_figure_has_a_series():
+    for name in ("fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+                 "fig8", "fig9"):
+        assert name in SERIES
+
+
+def test_fig6_series_shape():
+    rows = generate_series("fig6")
+    mechanisms = {r["mechanism"] for r in rows}
+    assert mechanisms == {"prefetch", "splitc_get"}
+    prefetch = {r["group"]: r["cycles_per_element"]
+                for r in rows if r["mechanism"] == "prefetch"}
+    assert prefetch[1] > prefetch[16]
+
+
+def test_fig8_series_shape():
+    rows = generate_series("fig8", quick=True)
+    assert {r["direction"] for r in rows} == {"read", "write"}
+    blt = {r["size_bytes"]: r["mb_per_s"] for r in rows
+           if r["direction"] == "read" and r["mechanism"] == "blt"}
+    assert blt[32 * 1024] > blt[128]
+
+
+def test_fig2_series_rows_have_curve_keys():
+    rows = generate_series("fig2", quick=True)
+    assert rows
+    assert set(rows[0]) == {"machine", "op", "size_bytes",
+                            "stride_bytes", "avg_cycles", "avg_ns"}
+
+
+def test_to_csv_round_trip():
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    text = to_csv(rows)
+    assert text.splitlines() == ["a,b", "1,x", "2,y"]
+    assert to_csv([]) == ""
+
+
+def test_unknown_series_rejected():
+    with pytest.raises(ValueError):
+        generate_series("fig99")
+
+
+def test_series_cli(tmp_path, capsys):
+    target = tmp_path / "fig6.csv"
+    assert main(["series", "fig6", "-o", str(target)]) == 0
+    text = target.read_text()
+    assert text.startswith("mechanism,group")
+    assert "prefetch,16" in text
