@@ -1,12 +1,18 @@
 PYTHON ?= python3
 
-.PHONY: test bench experiments examples quickcheck clean
+.PHONY: test bench bench-quick experiments examples quickcheck clean
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=.bench_raw.json
+	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
+		BENCH_PR1.json
+
+bench-quick:
+	PYTHONPATH=src $(PYTHON) tools/bench_quick.py
 
 experiments:
 	$(PYTHON) -m repro experiments -o EXPERIMENTS.md

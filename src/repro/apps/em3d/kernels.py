@@ -32,8 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.em3d.graph import Em3dGraph, initial_values
-from repro.params import CYCLE_NS, LINE_BYTES, WORD_BYTES
+from repro.params import CYCLE_NS, LINE_BYTES, LOCAL_ADDR_MASK, WORD_BYTES
+from repro.splitc.gptr import ADDR_MASK as GPTR_ADDR_MASK
+from repro.splitc.gptr import PE_SHIFT as GPTR_PE_SHIFT
 from repro.splitc.gptr import GlobalPtr
+from repro.node.write_buffer import PendingWrite
 from repro.splitc.runtime import run_splitc
 
 __all__ = ["Em3dResult", "Layout", "VERSIONS", "run_em3d"]
@@ -125,9 +128,13 @@ def _setup(machine, graph: Em3dGraph, version: str,
     h0 = initial_values(graph, "h", seed)
     for pe in range(graph.num_pes):
         mem = machine.node(pe).memsys.memory
+        # Setup writes the sparse word store directly (addresses here
+        # are word-aligned by construction: every offset is a multiple
+        # of VALUE_BYTES or WORD_BYTES).
+        words = mem._words
         for i in range(n):
-            mem.store(layout.e_vals + i * VALUE_BYTES, e0[pe][i])
-            mem.store(layout.h_vals + i * VALUE_BYTES, h0[pe][i])
+            words[layout.e_vals + i * VALUE_BYTES] = e0[pe][i]
+            words[layout.h_vals + i * VALUE_BYTES] = h0[pe][i]
         for direction in ("e", "h"):
             adj = graph.e_adj if direction == "e" else graph.h_adj
             plan = graph.e_plan if direction == "e" else graph.h_plan
@@ -145,10 +152,15 @@ def _setup(machine, graph: Em3dGraph, version: str,
                     else:
                         slot = plan.ghost_slot[pe][(owner, idx)]
                         ref = ghosts + slot * ghost_stride
-                    mem.store(cursor, ref)
-                    mem.store(cursor + WORD_BYTES, weight)
+                    words[cursor] = ref
+                    words[cursor + WORD_BYTES] = weight
                     cursor += entry_words * WORD_BYTES
     return layout
+
+
+#: Escape hatch for the golden-equivalence tests: when False the
+#: compute phase always runs the reference per-access loop.
+USE_FAST_COMPUTE = True
 
 
 def _compute_phase(sc, graph: Em3dGraph, layout: Layout, direction: str,
@@ -160,6 +172,17 @@ def _compute_phase(sc, graph: Em3dGraph, layout: Layout, direction: str,
     out_base = layout.e_vals if direction == "e" else layout.h_vals
     per_edge_overhead = (0.5 if optimized
                          else ctx.node.alpha.loop_iteration() + 1.0)
+    memsys = ctx.node.memsys
+    lb = memsys.l1._line_bytes
+    nsets = memsys.l1._num_sets
+    if USE_FAST_COMPUTE and (memsys.l1._assoc == 1 and memsys.l2 is None
+                             and memsys.tlb._never_misses
+                             and lb & (lb - 1) == 0
+                             and nsets & (nsets - 1) == 0):
+        _compute_phase_local_fast(ctx, n, graph.degree, adj_base, out_base,
+                                  per_edge_overhead,
+                                  sc if simple else None)
+        return
     cursor = adj_base
     for i in range(n):
         acc = 0.0
@@ -177,21 +200,353 @@ def _compute_phase(sc, graph: Em3dGraph, layout: Layout, direction: str,
         ctx.local_write(out_base + i * VALUE_BYTES, acc)
 
 
+def _compute_phase_local_fast(ctx, n: int, degree: int, adj_base: int,
+                              out_base: int, per_edge_overhead: float,
+                              simple_sc=None):
+    """The compute loop with the T3D read pipeline inlined.
+
+    Exactly equivalent to the reference loop above for a node with a
+    direct-mapped power-of-two L1, no L2, and a never-missing TLB: each
+    load makes the same L1 tag/DRAM state transitions and the same
+    clock additions in the same order; only the Python call chain is
+    flattened and the power-of-two address arithmetic uses shifts and
+    masks.  Value loads keep the write-buffer forwarding probe (they
+    can hit values stored earlier in the phase); adjacency loads skip
+    it because adjacency words are written only at setup, never
+    through the write buffer, so the probe could not match — and the
+    retired-entry flush it would perform is performed identically (same
+    entries, same retire timestamps, no intervening yield) by the next
+    value probe or store.  Cache/DRAM counters accumulate locally and
+    are committed at the end (stores inside the loop update the shared
+    DRAM state directly, so only the *deltas* are local).
+
+    With ``simple_sc`` set (the "simple" version), the neighbor value
+    is read through the Split-C blocking read; its local branch (the
+    common case) is flattened here too, remote references go through
+    the runtime.
+    """
+    memsys = ctx.node.memsys
+    wb = memsys.write_buffer
+    l1 = memsys.l1
+    dram = memsys.dram
+    mem_get = memsys.memory._words.get
+    lb = l1._line_bytes
+    nsets = l1._num_sets
+    tags = l1._tags
+    tags_get = tags.get
+    hit_cycles = memsys.params.l1.hit_cycles
+    wb_pending = wb._pending         # flush_retired trims it in place
+    wb_flush = wb.flush_retired
+    wb_push = wb.push
+    issue_cycles = wb._issue_cycles
+    merging = wb._merging
+    capacity = wb._capacity
+    # Power-of-two geometry (asserted by the caller's gate): line and
+    # set arithmetic reduce to shifts and masks, exact for ints.
+    line_mask = -lb                      # addr & -lb == addr - addr % lb
+    lb_shift = lb.bit_length() - 1
+    set_mask = nsets - 1
+    interleave = dram._interleave
+    banks = dram._banks
+    dpage = dram._page_bytes
+    dcycles = dram._access_cycles
+    off_page = dram.params.off_page_cycles
+    same_bank = dram.params.same_bank_cycles
+    open_row = dram._open_row
+    # When the DRAM interleave equals the page size (the T3D shape),
+    # row = ((block // banks) * interleave + addr % interleave) // page
+    # collapses to block // banks exactly (the remainder term is
+    # < page and cannot carry).
+    geom_flat = (interleave == dpage
+                 and interleave & (interleave - 1) == 0
+                 and banks & (banks - 1) == 0)
+    il_shift = interleave.bit_length() - 1
+    bank_mask = banks - 1
+    bank_shift = banks.bit_length() - 1
+    mask = LOCAL_ADDR_MASK
+    flop = ctx.node.alpha.flop_pair()
+    wbytes = WORD_BYTES
+    word_mask = -wbytes              # addr & -w == addr - addr % w
+    estep = 2 * wbytes
+    deg_range = range(degree)
+    l1_h = l1_m = 0
+    dram_n = dram_rm = dram_cf = 0
+    clock = ctx.clock
+    cursor = adj_base
+    if simple_sc is not None:
+        # "simple" reads every value through the Split-C blocking read.
+        # The local case of that read (decode, local load, stats
+        # record) is inlined below when no span trace is attached;
+        # remote references still go through the runtime.
+        my_pe = ctx.pe
+        simple_fast = simple_sc.trace is None
+        record_stat = simple_sc.stats.record
+        stats_ops = simple_sc.stats.ops
+        local_rec = None
+        gaddr_mask = GPTR_ADDR_MASK
+    for i in range(n):
+        acc = 0.0
+        for _ in deg_range:
+            # --- adjacency word 1: the neighbor reference.  Adjacency
+            # addresses are plain word-aligned heap offsets, so the
+            # ``& LOCAL_ADDR_MASK`` and word alignment of the generic
+            # path are identities and are dropped.
+            addr = cursor
+            line = addr & line_mask
+            index = (addr >> lb_shift) & set_mask
+            if tags_get(index) == line:
+                l1_h += 1
+                clock += hit_cycles
+            else:
+                l1_m += 1
+                tags[index] = line
+                if geom_flat:
+                    block = addr >> il_shift
+                    bank = block & bank_mask
+                    row = block >> bank_shift
+                else:
+                    block = addr // interleave
+                    bank = block % banks
+                    row = ((block // banks) * interleave
+                           + addr % interleave) // dpage
+                cyc = dcycles
+                dram_n += 1
+                if open_row[bank] != row:
+                    dram_rm += 1
+                    cyc += off_page
+                    if bank == dram._last_bank:
+                        dram_cf += 1
+                        cyc += same_bank
+                    open_row[bank] = row
+                dram._last_bank = bank
+                clock += cyc
+            ref = mem_get(addr, 0)
+            # --- adjacency word 2: the weight.  When it shares word
+            # 1's line (the usual case) it is a guaranteed L1 hit:
+            # word 1 just filled or confirmed that line. ---
+            addr = cursor + wbytes
+            if (addr & line_mask) == line:
+                l1_h += 1
+                clock += hit_cycles
+            else:
+                line2 = addr & line_mask
+                index = (addr >> lb_shift) & set_mask
+                if tags_get(index) == line2:
+                    l1_h += 1
+                    clock += hit_cycles
+                else:
+                    l1_m += 1
+                    tags[index] = line2
+                    if geom_flat:
+                        block = addr >> il_shift
+                        bank = block & bank_mask
+                        row = block >> bank_shift
+                    else:
+                        block = addr // interleave
+                        bank = block % banks
+                        row = ((block // banks) * interleave
+                               + addr % interleave) // dpage
+                    cyc = dcycles
+                    dram_n += 1
+                    if open_row[bank] != row:
+                        dram_rm += 1
+                        cyc += off_page
+                        if bank == dram._last_bank:
+                            dram_cf += 1
+                            cyc += same_bank
+                        open_row[bank] = row
+                    dram._last_bank = bank
+                    clock += cyc
+            weight = mem_get(addr, 0)
+            cursor += estep
+            if simple_sc is not None:
+                if simple_fast and (ref >> GPTR_PE_SHIFT) == my_pe:
+                    # runtime.read's local branch, flattened: a local
+                    # load plus a "read (local)" stats record.
+                    addr = ref & gaddr_mask
+                    before = clock
+                    found = False
+                    if wb_pending:
+                        if wb_pending[0].retire_time <= clock:
+                            wb_flush(clock)
+                        w = addr & word_mask
+                        for entry in reversed(wb_pending):
+                            if w in entry.words:
+                                found = True
+                                fv = entry.words[w]
+                                break
+                    line = addr & line_mask
+                    index = (addr >> lb_shift) & set_mask
+                    if tags_get(index) == line:
+                        l1_h += 1
+                        clock += hit_cycles
+                    else:
+                        l1_m += 1
+                        tags[index] = line
+                        a = addr & mask
+                        if geom_flat:
+                            block = a >> il_shift
+                            bank = block & bank_mask
+                            row = block >> bank_shift
+                        else:
+                            block = a // interleave
+                            bank = block % banks
+                            row = ((block // banks) * interleave
+                                   + a % interleave) // dpage
+                        cyc = dcycles
+                        dram_n += 1
+                        if open_row[bank] != row:
+                            dram_rm += 1
+                            cyc += off_page
+                            if bank == dram._last_bank:
+                                dram_cf += 1
+                                cyc += same_bank
+                            open_row[bank] = row
+                        dram._last_bank = bank
+                        clock += cyc
+                    if found:
+                        value = fv
+                    else:
+                        a = addr & mask
+                        value = mem_get(a - (a % wbytes), 0)
+                    if local_rec is None:
+                        record_stat("read (local)", clock - before)
+                        local_rec = stats_ops["read (local)"]
+                    else:
+                        local_rec.count += 1
+                        local_rec.cycles += clock - before
+                else:
+                    ctx.clock = clock
+                    value = simple_sc.read_from(ref >> GPTR_PE_SHIFT,
+                                                ref & gaddr_mask)
+                    clock = ctx.clock
+            else:
+                addr = ref
+                found = False
+                if wb_pending:
+                    if wb_pending[0].retire_time <= clock:
+                        wb_flush(clock)
+                    w = addr & word_mask
+                    for entry in reversed(wb_pending):
+                        if w in entry.words:
+                            found = True
+                            fv = entry.words[w]
+                            break
+                line = addr & line_mask
+                index = (addr >> lb_shift) & set_mask
+                if tags_get(index) == line:
+                    l1_h += 1
+                    clock += hit_cycles
+                else:
+                    l1_m += 1
+                    tags[index] = line
+                    a = addr & mask
+                    if geom_flat:
+                        block = a >> il_shift
+                        bank = block & bank_mask
+                        row = block >> bank_shift
+                    else:
+                        block = a // interleave
+                        bank = block % banks
+                        row = ((block // banks) * interleave
+                               + a % interleave) // dpage
+                    cyc = dcycles
+                    dram_n += 1
+                    if open_row[bank] != row:
+                        dram_rm += 1
+                        cyc += off_page
+                        if bank == dram._last_bank:
+                            dram_cf += 1
+                            cyc += same_bank
+                        open_row[bank] = row
+                    dram._last_bank = bank
+                    clock += cyc
+                if found:
+                    value = fv
+                else:
+                    a = addr & mask
+                    value = mem_get(a - (a % wbytes), 0)
+            acc += weight * value
+            clock = clock + flop + per_edge_overhead
+        # memsys.write_cycles, destructured onto the local clock: the
+        # never-miss TLB charges nothing, then the same merge-scan /
+        # DRAM-drain / push sequence in the same order (the merging
+        # pre-scan runs *before* any flush, preserving the quirk that
+        # a match on an already-retired entry falls through push's
+        # re-scan into a zero-drain enqueue).
+        a = out_base + i * VALUE_BYTES
+        line = a & line_mask
+        matched = False
+        if merging:
+            for entry in wb_pending:
+                if entry.line_addr == line:
+                    matched = True
+                    break
+        if matched:
+            clock += wb_push(clock, a, acc, 0.0)
+        else:
+            la = line & mask
+            if geom_flat:
+                block = la >> il_shift
+                bank = block & bank_mask
+                row = block >> bank_shift
+            else:
+                block = la // interleave
+                bank = block % banks
+                row = ((block // banks) * interleave
+                       + la % interleave) // dpage
+            drain = dcycles
+            dram_n += 1
+            if open_row[bank] != row:
+                dram_rm += 1
+                drain += off_page
+                if bank == dram._last_bank:
+                    dram_cf += 1
+                    drain += same_bank
+                open_row[bank] = row
+            dram._last_bank = bank
+            # write_buffer.push_new, inlined.
+            if wb_pending and wb_pending[0].retire_time <= clock:
+                wb_flush(clock)
+            stall = 0.0
+            if len(wb_pending) >= capacity:
+                stall = wb_pending[0].retire_time - clock
+                if stall < 0.0:
+                    stall = 0.0
+                wb_flush(clock + stall)
+            start = clock + stall
+            retire = wb._last_retire
+            if start > retire:
+                retire = start
+            retire += drain / capacity
+            wb._last_retire = retire
+            wb_pending.append(PendingWrite(line, start, retire, {a: acc}))
+            clock += issue_cycles + stall
+    ctx.clock = clock
+    l1.hits += l1_h
+    l1.misses += l1_m
+    dram.accesses += dram_n
+    dram.row_misses += dram_rm
+    dram.same_bank_conflicts += dram_cf
+
+
 def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
     """Fill ghosts with blocking reads (bundle/unroll) or gets."""
     plan = graph.e_plan if direction == "e" else graph.h_plan
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
+    slots = plan.ghost_slot[me]
+    local_write = sc.ctx.local_write
     for src in sorted(plan.needed[me]):
         for idx in plan.needed[me][src]:
-            slot = plan.ghost_slot[me][(src, idx)]
-            target = GlobalPtr(src, vals + idx * VALUE_BYTES)
+            slot = slots[(src, idx)]
             if use_get:
-                sc.get(target, ghosts + slot * VALUE_BYTES)
+                sc.get_from(src, vals + idx * VALUE_BYTES,
+                            ghosts + slot * VALUE_BYTES)
             else:
-                value = sc.read(target)
-                sc.ctx.local_write(ghosts + slot * VALUE_BYTES, value)
+                value = sc.read_from(src, vals + idx * VALUE_BYTES)
+                local_write(ghosts + slot * VALUE_BYTES, value)
     if use_get:
         sc.sync()
 
@@ -202,16 +557,19 @@ def _ghost_fill_puts(sc, graph, layout, direction: str):
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
+    local_read = sc.ctx.local_read
+    put_to = sc.put_to
     for consumer in range(graph.num_pes):
         if consumer == me:
             continue
         idxs = plan.needed[consumer].get(me)
         if not idxs:
             continue
+        slots = plan.ghost_slot[consumer]
         for idx in idxs:
-            slot = plan.ghost_slot[consumer][(me, idx)]
-            value = sc.ctx.local_read(vals + idx * VALUE_BYTES)
-            sc.put(GlobalPtr(consumer, ghosts + slot * VALUE_BYTES), value)
+            slot = slots[(me, idx)]
+            value = local_read(vals + idx * VALUE_BYTES)
+            put_to(consumer, ghosts + slot * VALUE_BYTES, value)
     # Completion is deferred to the all_store_sync that follows.
 
 

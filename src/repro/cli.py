@@ -8,6 +8,8 @@ Commands:
 * ``headlines`` — print the headline latency measurements.
 * ``em3d [--quick]`` — run the Figure 9 sweep and print the table.
 * ``hazards`` — run the three semantic-hazard probes.
+* ``bench EXPERIMENT [--quick] [--top N]`` — run one experiment under
+  ``cProfile`` and print the top cumulative hotspots.
 """
 
 from __future__ import annotations
@@ -94,6 +96,42 @@ def _cmd_series(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run one named experiment under cProfile and print the hotspots.
+
+    This is the perf-trajectory companion to ``make bench``: when a
+    benchmark regresses, ``repro bench <experiment>`` shows where the
+    cycles went without any pytest machinery in the profile.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    def runner():
+        if args.experiment == "headlines":
+            from repro.microbench.probes import measure_headlines
+            measure_headlines()
+        elif args.experiment == "em3d":
+            from repro.apps.em3d import sweep
+            nodes, degree = (60, 5) if args.quick else (200, 10)
+            sweep(fractions=(0.0, 0.2, 0.5), nodes_per_pe=nodes,
+                  degree=degree)
+        else:
+            from repro.reporting.series import generate_series
+            generate_series(args.experiment, quick=args.quick)
+
+    start = time.perf_counter()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner()
+    profiler.disable()
+    wall = time.perf_counter() - start
+    print(f"{args.experiment}: {wall:.3f} s wall clock")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,6 +157,16 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("hazards", help="run the semantic-hazard probes")
     p.set_defaults(func=_cmd_hazards)
+
+    p = sub.add_parser("bench",
+                       help="profile a named experiment under cProfile")
+    p.add_argument("experiment",
+                   help="fig1, fig2, fig4-fig9, em3d, or headlines")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced problem sizes")
+    p.add_argument("--top", type=int, default=20,
+                   help="how many hotspots to print (default 20)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("series",
                        help="emit one figure's data series as CSV")

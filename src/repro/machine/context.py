@@ -28,6 +28,10 @@ class Context:
         self.node = node
         self.pe = node.pe
         self.clock = 0.0
+        # Bound-method fast paths for the hottest calls (identical
+        # behaviour, skips the node.memsys attribute chain per access).
+        self._memsys_read = node.memsys.read
+        self._memsys_write = node.memsys.write_cycles
 
     @property
     def num_pes(self) -> int:
@@ -45,13 +49,13 @@ class Context:
 
     def local_read(self, addr: int):
         """Load a word from local memory; returns the value."""
-        cycles, value = self.node.memsys.read(self.clock, addr)
+        cycles, value = self._memsys_read(self.clock, addr)
         self.clock += cycles
         return value
 
     def local_write(self, addr: int, value) -> None:
         """Store a word to local memory (through the write buffer)."""
-        self.clock += self.node.memsys.write(self.clock, addr, value)
+        self.clock += self._memsys_write(self.clock, addr, value)
 
     def memory_barrier(self) -> None:
         """Drain the write buffer (the Alpha ``mb`` instruction)."""

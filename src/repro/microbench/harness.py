@@ -17,6 +17,19 @@ To keep pure-Python run times sane, each (size, stride) point may cap
 the number of accesses per pass; because the stimulus is periodic, the
 steady-state average converges long before a full pass over an 8 MB
 array.
+
+Two fast paths keep the sweeps cheap without changing a single number:
+
+* ``sweep_fn`` — a model-supplied batched runner for one (size, stride)
+  point (e.g. :meth:`repro.node.memsys.MemorySystem.read_sweep`) that
+  is exactly equivalent to the per-access loop; the golden-equivalence
+  suite (``tests/test_fastpath_equivalence.py``) asserts identity.
+* ``memo_key`` — when the probe cold-starts state before every point
+  (``reset_fn``), each point is a pure function of (machine parameters,
+  address list, pass counts); identical points are computed once per
+  process and replayed.  Deduplication fires both *within* a probe
+  (capped address lists collapse across array sizes) and *across*
+  benchmarks re-running the same deterministic sweep.
 """
 
 from __future__ import annotations
@@ -25,10 +38,19 @@ from dataclasses import dataclass, field
 
 from repro.params import CYCLE_NS
 
-__all__ = ["LatencyCurves", "ProbePoint", "default_sizes", "default_strides",
-           "run_stride_probe"]
+__all__ = ["LatencyCurves", "ProbePoint", "clear_probe_memo",
+           "default_sizes", "default_strides", "run_stride_probe"]
 
 KB = 1024
+
+#: Process-wide memo of probe points: key -> (avg_cycles, accesses).
+_POINT_MEMO: dict = {}
+
+
+def clear_probe_memo() -> None:
+    """Drop all memoized probe points (for tests and ablations that
+    mutate machine state in ways not captured by the memo key)."""
+    _POINT_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -92,7 +114,8 @@ def default_strides(size: int, lo: int = 8) -> list[int]:
 def run_stride_probe(access_fn, sizes=None, strides_fn=None, *,
                      base_addr: int = 0, warmup_passes: int = 1,
                      measure_passes: int = 2, max_accesses: int = 4096,
-                     min_footprint: int = 0, reset_fn=None) -> LatencyCurves:
+                     min_footprint: int = 0, reset_fn=None,
+                     sweep_fn=None, memo_key=None) -> LatencyCurves:
     """Run the sawtooth probe against an access function.
 
     ``access_fn(now, addr) -> cycles`` performs one (simulated) memory
@@ -107,31 +130,59 @@ def run_stride_probe(access_fn, sizes=None, strides_fn=None, *,
     set ``min_footprint`` to several times that cache's size — the cap
     is then raised at small strides so the working set never
     artificially fits.
+
+    ``sweep_fn(base, stride, count, warmup_passes, measure_passes) ->
+    (total, accesses)`` (optional) runs one whole point batched; it
+    must be exactly equivalent to the per-access loop.  ``memo_key``
+    (optional, requires ``reset_fn``) enables the process-wide point
+    memo: pass a hashable key capturing everything the result depends
+    on besides the address list — typically the probe name and the
+    machine's (frozen, hashable) parameter object.  Memoized points
+    skip the simulation entirely, so post-probe model state is only
+    meaningful when the caller resets it anyway.
     """
     sizes = sizes if sizes is not None else default_sizes()
     strides_fn = strides_fn if strides_fn is not None else default_strides
+    memo_enabled = memo_key is not None and reset_fn is not None
     curves = LatencyCurves()
     for size in sizes:
         for stride in strides_fn(size):
+            naccesses = -(-size // stride)
+            cap = max(max_accesses, -(-min_footprint // stride))
+            if naccesses > cap:
+                naccesses = cap
+            if memo_enabled:
+                key = (memo_key, base_addr, stride, naccesses,
+                       warmup_passes, measure_passes)
+                cached = _POINT_MEMO.get(key)
+                if cached is not None:
+                    curves.points.append(ProbePoint(
+                        size=size, stride=stride,
+                        avg_cycles=cached[0], accesses=cached[1]))
+                    continue
             if reset_fn is not None:
                 reset_fn()
-            addrs = list(range(base_addr, base_addr + size, stride))
-            cap = max(max_accesses, -(-min_footprint // stride))
-            if len(addrs) > cap:
-                addrs = addrs[:cap]
-            now = 0.0
-            for _ in range(warmup_passes):
-                for addr in addrs:
-                    now += access_fn(now, addr)
-            total = 0.0
-            count = 0
-            for _ in range(measure_passes):
-                for addr in addrs:
-                    cycles = access_fn(now, addr)
-                    total += cycles
-                    now += cycles
-                    count += 1
+            if sweep_fn is not None:
+                total, count = sweep_fn(base_addr, stride, naccesses,
+                                        warmup_passes, measure_passes)
+            else:
+                addrs = range(base_addr, base_addr + naccesses * stride,
+                              stride)
+                now = 0.0
+                for _ in range(warmup_passes):
+                    for addr in addrs:
+                        now += access_fn(now, addr)
+                total = 0.0
+                count = 0
+                for _ in range(measure_passes):
+                    for addr in addrs:
+                        cycles = access_fn(now, addr)
+                        total += cycles
+                        now += cycles
+                        count += 1
+            avg = total / count
+            if memo_enabled:
+                _POINT_MEMO[key] = (avg, count)
             curves.points.append(ProbePoint(
-                size=size, stride=stride,
-                avg_cycles=total / count, accesses=count))
+                size=size, stride=stride, avg_cycles=avg, accesses=count))
     return curves

@@ -46,13 +46,24 @@ KB = 1024
 # ----------------------------------------------------------------------
 
 def local_read_probe(memsys: MemorySystem, **kwargs) -> LatencyCurves:
-    """Figure 1: average read latency vs (array size, stride)."""
+    """Figure 1: average read latency vs (array size, stride).
+
+    Runs each point through the memory system's batched
+    :meth:`~repro.node.memsys.MemorySystem.read_sweep` (exactly
+    equivalent to the per-access loop) and memoizes points by the
+    machine's parameters; pass ``sweep_fn=None`` / ``memo_key=None`` to
+    force the reference per-access path.
+    """
+    kwargs.setdefault("sweep_fn", memsys.read_sweep)
+    kwargs.setdefault("memo_key", ("local_read", memsys.params))
     return run_stride_probe(
         memsys.read_cycles, reset_fn=memsys.reset, **kwargs)
 
 
 def local_write_probe(memsys: MemorySystem, **kwargs) -> LatencyCurves:
     """Figure 2: average write latency vs (array size, stride)."""
+    kwargs.setdefault("sweep_fn", memsys.write_sweep)
+    kwargs.setdefault("memo_key", ("local_write", memsys.params))
     return run_stride_probe(
         memsys.write_cycles, reset_fn=memsys.reset, **kwargs)
 
@@ -98,6 +109,7 @@ def remote_read_probe(machine: Machine | None = None,
         machine.reset()
         sc.annex_policy.reset()
 
+    kwargs.setdefault("memo_key", ("remote_read", mechanism, machine.params))
     return run_stride_probe(access, reset_fn=reset, **kwargs)
 
 
@@ -127,6 +139,7 @@ def remote_write_probe(machine: Machine | None = None,
         machine.reset()
         sc.annex_policy.reset()
 
+    kwargs.setdefault("memo_key", ("remote_write", mechanism, machine.params))
     return run_stride_probe(access, reset_fn=reset, **kwargs)
 
 
@@ -156,6 +169,8 @@ def nonblocking_write_probe(machine: Machine | None = None,
         machine.reset()
         sc.annex_policy.reset()
 
+    kwargs.setdefault("memo_key",
+                      ("nonblocking_write", mechanism, machine.params))
     return run_stride_probe(access, reset_fn=reset, **kwargs)
 
 

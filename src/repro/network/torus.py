@@ -20,6 +20,9 @@ class Torus:
         self.shape = params.shape
         if any(dim < 1 for dim in self.shape):
             raise ValueError(f"torus dimensions must be >= 1, got {self.shape}")
+        # Hop counts are pure in (src, dst); memoize them — remote-access
+        # timing asks for the same pairs millions of times.
+        self._hops_cache: dict[tuple[int, int], int] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -50,16 +53,22 @@ class Torus:
 
     def hops(self, src: int, dst: int) -> int:
         """Number of network hops between two nodes (dimension-order)."""
+        cached = self._hops_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if src == dst:
-            return 0
-        sx, sy, sz = self.coords(src)
-        dx, dy, dz = self.coords(dst)
-        x_dim, y_dim, z_dim = self.shape
-        return (
-            self._ring_distance(sx, dx, x_dim)
-            + self._ring_distance(sy, dy, y_dim)
-            + self._ring_distance(sz, dz, z_dim)
-        )
+            count = 0
+        else:
+            sx, sy, sz = self.coords(src)
+            dx, dy, dz = self.coords(dst)
+            x_dim, y_dim, z_dim = self.shape
+            count = (
+                self._ring_distance(sx, dx, x_dim)
+                + self._ring_distance(sy, dy, y_dim)
+                + self._ring_distance(sz, dz, z_dim)
+            )
+        self._hops_cache[(src, dst)] = count
+        return count
 
     def route(self, src: int, dst: int) -> list[int]:
         """The dimension-order path from src to dst, inclusive of both.

@@ -12,6 +12,11 @@ addresses differing only in their Annex-index bits — map to the same
 set (the index bits are low-order) but can never both be resident,
 which is exactly why the paper found cache synonyms harmless on the
 direct-mapped 21064 (section 3.4).
+
+Tag storage is dict-backed so every probe is O(1): a direct-mapped
+cache keeps one ``set index -> line address`` mapping, and a
+set-associative cache keeps one insertion-ordered ``line -> None``
+dict per set (oldest first), giving O(1) LRU touch and eviction.
 """
 
 from __future__ import annotations
@@ -26,54 +31,127 @@ class Cache:
 
     def __init__(self, params: CacheParams):
         self.params = params
-        # One list of resident line addresses per set, most recent last.
-        self._sets: list[list[int]] = [[] for _ in range(params.num_sets)]
+        self._line_bytes = params.line_bytes
+        self._num_sets = params.num_sets
+        self._assoc = params.associativity
+        # Direct-mapped (the common case): set index -> resident line
+        # address.  Set-associative: set index -> {line: None} in LRU
+        # order, most recent last.
+        if self._assoc == 1:
+            self._tags: dict[int, int] = {}
+        else:
+            self._ways: dict[int, dict[int, None]] = {}
         self.hits = 0
         self.misses = 0
 
     def reset(self) -> None:
         """Empty the cache (e.g. between probe runs)."""
-        self._sets = [[] for _ in range(self.params.num_sets)]
+        if self._assoc == 1:
+            self._tags.clear()
+        else:
+            self._ways.clear()
         self.hits = 0
         self.misses = 0
 
+    @property
+    def _sets(self) -> list[list[int]]:
+        """Per-set resident lines, LRU order (compatibility view)."""
+        sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        if self._assoc == 1:
+            for index, line in self._tags.items():
+                sets[index].append(line)
+        else:
+            for index, ways in self._ways.items():
+                sets[index].extend(ways)
+        return sets
+
     def line_addr(self, addr: int) -> int:
         """Address of the line containing ``addr``."""
-        return addr - (addr % self.params.line_bytes)
+        return addr - (addr % self._line_bytes)
 
     def set_index(self, addr: int) -> int:
         """Set an address maps to (indexed by low-order line bits)."""
-        return (addr // self.params.line_bytes) % self.params.num_sets
+        return (addr // self._line_bytes) % self._num_sets
 
     def lookup(self, addr: int) -> bool:
         """Probe the cache; updates LRU order and hit/miss counters."""
-        line = self.line_addr(addr)
-        ways = self._sets[self.set_index(addr)]
-        if line in ways:
-            self.hits += 1
-            if self.params.associativity > 1:
-                ways.remove(line)
-                ways.append(line)
-            return True
+        line = addr - (addr % self._line_bytes)
+        index = (addr // self._line_bytes) % self._num_sets
+        if self._assoc == 1:
+            if self._tags.get(index) == line:
+                self.hits += 1
+                return True
+        else:
+            ways = self._ways.get(index)
+            if ways is not None and line in ways:
+                self.hits += 1
+                del ways[line]
+                ways[line] = None
+                return True
         self.misses += 1
         return False
 
     def contains(self, addr: int) -> bool:
         """Non-destructive residency check (no LRU or counter update)."""
-        return self.line_addr(addr) in self._sets[self.set_index(addr)]
+        line = addr - (addr % self._line_bytes)
+        index = (addr // self._line_bytes) % self._num_sets
+        if self._assoc == 1:
+            return self._tags.get(index) == line
+        ways = self._ways.get(index)
+        return ways is not None and line in ways
 
     def fill(self, addr: int) -> int | None:
         """Bring the line holding ``addr`` in; return the evicted line
         address, or ``None`` if no eviction happened."""
-        line = self.line_addr(addr)
-        ways = self._sets[self.set_index(addr)]
-        if line in ways:
+        line = addr - (addr % self._line_bytes)
+        index = (addr // self._line_bytes) % self._num_sets
+        if self._assoc == 1:
+            evicted = self._tags.get(index)
+            if evicted == line:
+                return None
+            self._tags[index] = line
+            return evicted
+        ways = self._ways.get(index)
+        if ways is None:
+            ways = self._ways[index] = {}
+        elif line in ways:
             return None
         evicted = None
-        if len(ways) >= self.params.associativity:
-            evicted = ways.pop(0)
-        ways.append(line)
+        if len(ways) >= self._assoc:
+            evicted = next(iter(ways))
+            del ways[evicted]
+        ways[line] = None
         return evicted
+
+    def access_fill(self, addr: int) -> bool:
+        """Fused ``lookup`` + ``fill``-on-miss; returns whether it hit.
+
+        State, counters, and eviction choice are identical to a
+        ``lookup`` followed (on miss) by a ``fill`` — this is the
+        single-call fast path the memory system's read pipeline uses.
+        """
+        line = addr - (addr % self._line_bytes)
+        index = (addr // self._line_bytes) % self._num_sets
+        if self._assoc == 1:
+            if self._tags.get(index) == line:
+                self.hits += 1
+                return True
+            self.misses += 1
+            self._tags[index] = line
+            return False
+        ways = self._ways.get(index)
+        if ways is None:
+            ways = self._ways[index] = {}
+        elif line in ways:
+            self.hits += 1
+            del ways[line]
+            ways[line] = None
+            return True
+        self.misses += 1
+        if len(ways) >= self._assoc:
+            del ways[next(iter(ways))]
+        ways[line] = None
+        return False
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr``; return whether it was present.
@@ -82,12 +160,38 @@ class Cache:
         cached reads safe (section 4.4) and the remote-write-induced
         invalidation of cache-invalidate mode.
         """
-        line = self.line_addr(addr)
-        ways = self._sets[self.set_index(addr)]
-        if line in ways:
-            ways.remove(line)
+        line = addr - (addr % self._line_bytes)
+        index = (addr // self._line_bytes) % self._num_sets
+        if self._assoc == 1:
+            if self._tags.get(index) == line:
+                del self._tags[index]
+                return True
+            return False
+        ways = self._ways.get(index)
+        if ways is not None and line in ways:
+            del ways[line]
             return True
         return False
+
+    def invalidate_range(self, addr: int, nbytes: int) -> None:
+        """Drop every line overlapping ``[addr, addr + nbytes)``.
+
+        Equivalent to calling :meth:`invalidate` on each covered line;
+        used by bulk-transfer paths so invalidation cost is one call
+        per line rather than one per word.
+        """
+        line_bytes = self._line_bytes
+        first = addr - (addr % line_bytes)
+        last = (addr + max(nbytes, 1) - 1)
+        last -= last % line_bytes
+        if self._assoc == 1 and (last - first) // line_bytes >= len(self._tags):
+            # Cheaper to scan the resident tags than the address range.
+            for index, line in list(self._tags.items()):
+                if first <= line <= last:
+                    del self._tags[index]
+            return
+        for line in range(first, last + line_bytes, line_bytes):
+            self.invalidate(line)
 
     def flush_all(self) -> int:
         """Empty the whole cache; return the number of lines dropped.
@@ -96,11 +200,15 @@ class Cache:
         than per-line flushes for transfers of 8 KB or more
         (section 6.2, footnote 3).
         """
-        dropped = sum(len(ways) for ways in self._sets)
-        for ways in self._sets:
-            ways.clear()
+        dropped = self.resident_lines
+        if self._assoc == 1:
+            self._tags.clear()
+        else:
+            self._ways.clear()
         return dropped
 
     @property
     def resident_lines(self) -> int:
-        return sum(len(ways) for ways in self._sets)
+        if self._assoc == 1:
+            return len(self._tags)
+        return sum(len(ways) for ways in self._ways.values())

@@ -30,6 +30,10 @@ class Dram:
 
     def __init__(self, params: DramParams):
         self.params = params
+        self._interleave = params.bank_interleave_bytes
+        self._banks = params.banks
+        self._page_bytes = params.page_bytes
+        self._access_cycles = params.access_cycles
         self._open_row: list[int] = [-1] * params.banks
         self._last_bank: int = -1
         # Counters for tests and the gray-box analyzer's ground truth.
@@ -85,10 +89,12 @@ class Dram:
         off-page penalty through the remote memory controller (~15
         cycles, section 4.2) than locally (~9 cycles, section 2.2).
         """
-        p = self.params
-        bank = self.bank_of(addr)
-        row = self.row_of(addr)
-        cycles = p.access_cycles
+        interleave = self._interleave
+        block = addr // interleave
+        bank = block % self._banks
+        row = ((block // self._banks) * interleave
+               + addr % interleave) // self._page_bytes
+        cycles = self._access_cycles
         self.accesses += 1
         if self._open_row[bank] != row:
             self.row_misses += 1

@@ -5,6 +5,12 @@ values (ints for probe patterns, floats for EM3D fields).  Sub-word
 accesses are composed from word accesses plus the Alpha byte-
 manipulation helpers — there are no byte stores, which is what makes
 the byte-write race of section 4.5 reproducible at the machine layer.
+
+Besides the scalar ``load``/``store``, the store exposes range and
+strided-range operations so bulk movers (the BLT, Split-C bulk
+transfers) can shift whole blocks without a Python-level call per
+word; each range op is defined to be element-wise identical to the
+equivalent scalar loop.
 """
 
 from __future__ import annotations
@@ -25,22 +31,37 @@ class WordMemory:
 
     def load(self, addr: int):
         """Load the 8-byte word containing ``addr``."""
-        return self._words.get(self.word_addr(addr), 0)
+        return self._words.get(addr - (addr % WORD_BYTES), 0)
 
     def store(self, addr: int, value) -> None:
         """Store ``value`` into the 8-byte word containing ``addr``."""
-        self._words[self.word_addr(addr)] = value
+        self._words[addr - (addr % WORD_BYTES)] = value
 
     def load_range(self, addr: int, nwords: int) -> list:
         """Load ``nwords`` consecutive words starting at ``addr``."""
-        base = self.word_addr(addr)
-        return [self._words.get(base + i * WORD_BYTES, 0) for i in range(nwords)]
+        base = addr - (addr % WORD_BYTES)
+        get = self._words.get
+        return [get(base + i * WORD_BYTES, 0) for i in range(nwords)]
 
     def store_range(self, addr: int, values) -> None:
         """Store consecutive words starting at ``addr``."""
-        base = self.word_addr(addr)
+        base = addr - (addr % WORD_BYTES)
+        words = self._words
         for i, value in enumerate(values):
-            self._words[base + i * WORD_BYTES] = value
+            words[base + i * WORD_BYTES] = value
+
+    def load_stride(self, addr: int, stride_bytes: int, nwords: int) -> list:
+        """Load ``nwords`` words at ``addr, addr + stride, ...``.
+
+        Each element equals ``load(addr + i * stride_bytes)`` — the
+        per-element word alignment matters when the stride is not a
+        multiple of the word size.
+        """
+        get = self._words.get
+        return [
+            get(a - (a % WORD_BYTES), 0)
+            for a in range(addr, addr + nwords * stride_bytes, stride_bytes)
+        ]
 
     def __len__(self) -> int:
         return len(self._words)

@@ -10,19 +10,25 @@ this fully-associative LRU model under the two parameterizations in
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from repro.params import TlbParams
 
 __all__ = ["Tlb"]
 
 
 class Tlb:
-    """Fully associative, LRU-replaced TLB timing model."""
+    """Fully associative, LRU-replaced TLB timing model.
+
+    Entries live in a plain insertion-ordered dict (oldest first), so a
+    hit's LRU touch and a miss's eviction are both O(1).
+    """
 
     def __init__(self, params: TlbParams):
         self.params = params
-        self._entries: OrderedDict[int, None] = OrderedDict()
+        self._never_misses = params.never_misses
+        self._page_bytes = params.page_bytes
+        self._capacity = params.entries
+        self._miss_cycles = params.miss_cycles
+        self._entries: dict[int, None] = {}
         self.hits = 0
         self.misses = 0
 
@@ -32,19 +38,21 @@ class Tlb:
         self.misses = 0
 
     def page_of(self, addr: int) -> int:
-        return addr // self.params.page_bytes
+        return addr // self._page_bytes
 
     def translate(self, addr: int) -> float:
         """Translate an access; return the cycles it adds (0 on a hit)."""
-        if self.params.never_misses:
+        if self._never_misses:
             return 0.0
-        page = self.page_of(addr)
-        if page in self._entries:
+        entries = self._entries
+        page = addr // self._page_bytes
+        if page in entries:
             self.hits += 1
-            self._entries.move_to_end(page)
+            del entries[page]
+            entries[page] = None
             return 0.0
         self.misses += 1
-        if len(self._entries) >= self.params.entries:
-            self._entries.popitem(last=False)
-        self._entries[page] = None
-        return self.params.miss_cycles
+        if len(entries) >= self._capacity:
+            del entries[next(iter(entries))]
+        entries[page] = None
+        return self._miss_cycles

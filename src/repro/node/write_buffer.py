@@ -16,38 +16,48 @@ observe two behaviours this model reproduces:
 The buffer also holds the *data* of pending stores, which is what makes
 the write-buffer hazards of the paper reproducible:
 
-* a read to the **same word** is forwarded the pending value;
+* a read to the **same word** is forwarded the pending value (entries
+  key their words by word-aligned address, so a read anywhere within a
+  buffered word observes it — read-your-own-writes holds at word
+  granularity, matching the 21064's word-wide forwarding);
 * a read to a **synonym** (different physical address, same actual
   location, via a second Annex register — section 3.4) finds no match,
-  bypasses the buffer, and reads a stale value from memory;
+  bypasses the buffer, and reads a stale value from memory; the Annex
+  bits live above bit 32, so word alignment never erases them;
 * the global/local consistency violation of section 4.5 (a local read
   overtaking a buffered local write as observed by another processor).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.params import WriteBufferParams
+from repro.params import WORD_BYTES, WriteBufferParams
 
 __all__ = ["WriteBuffer", "PendingWrite"]
 
 
-@dataclass
 class PendingWrite:
-    """One write-buffer entry: a line with the words merged into it."""
+    """One write-buffer entry: a line with the words merged into it.
 
-    line_addr: int
-    enqueue_time: float
-    retire_time: float
-    words: dict[int, object] = field(default_factory=dict)
-    #: When False the entry's words are not committed through the
-    #: buffer's ``apply`` on retirement — used for remote stores, whose
-    #: retirement hands the packet to the shell instead.
-    apply_words: bool = True
-    #: Called as ``on_retire(entry)`` when the entry drains; remote
-    #: stores use this to inject their packet with the retire timestamp.
-    on_retire: object = None
+    ``apply_words``: when False the entry's words are not committed
+    through the buffer's ``apply`` on retirement — used for remote
+    stores, whose retirement hands the packet to the shell instead.
+    ``on_retire``: called as ``on_retire(entry)`` when the entry
+    drains; remote stores use this to inject their packet with the
+    retire timestamp.
+    """
+
+    __slots__ = ("line_addr", "enqueue_time", "retire_time", "words",
+                 "apply_words", "on_retire")
+
+    def __init__(self, line_addr: int, enqueue_time: float,
+                 retire_time: float, words: dict | None = None,
+                 apply_words: bool = True, on_retire=None):
+        self.line_addr = line_addr
+        self.enqueue_time = enqueue_time
+        self.retire_time = retire_time
+        self.words = {} if words is None else words
+        self.apply_words = apply_words
+        self.on_retire = on_retire
 
 
 class WriteBuffer:
@@ -64,6 +74,9 @@ class WriteBuffer:
                  line_bytes: int = 32):
         self.params = params
         self.line_bytes = line_bytes
+        self._issue_cycles = params.issue_cycles
+        self._merging = params.merging
+        self._capacity = params.entries
         self._apply = apply or (lambda addr, value: None)
         self._pending: list[PendingWrite] = []
         self._last_retire: float = 0.0
@@ -71,7 +84,7 @@ class WriteBuffer:
         self.drained_entries = 0
 
     def reset(self) -> None:
-        self._pending = []
+        self._pending.clear()
         self._last_retire = 0.0
         self.merged_writes = 0
         self.drained_entries = 0
@@ -85,19 +98,33 @@ class WriteBuffer:
         return len(self._pending)
 
     def flush_retired(self, now: float) -> None:
-        """Commit every entry whose drain completed by ``now``."""
-        still = []
-        for entry in self._pending:
-            if entry.retire_time <= now:
-                if entry.apply_words:
-                    for addr, value in entry.words.items():
-                        self._apply(addr, value)
-                if entry.on_retire is not None:
-                    entry.on_retire(entry)
-                self.drained_entries += 1
-            else:
-                still.append(entry)
-        self._pending = still
+        """Commit every entry whose drain completed by ``now``.
+
+        Entries are appended with non-decreasing retire times (the
+        pipelined drain schedules each new entry behind
+        ``_last_retire``), so the retired entries always form a prefix
+        of the pending list: one head check rejects the common
+        nothing-retired case, and commits peel the prefix in the same
+        (FIFO) order the full scan used to visit them.
+        """
+        pending = self._pending
+        if not pending or pending[0].retire_time > now:
+            return
+        apply = self._apply
+        drained = 0
+        for entry in pending:
+            if entry.retire_time > now:
+                break
+            if entry.apply_words:
+                for addr, value in entry.words.items():
+                    apply(addr, value)
+            if entry.on_retire is not None:
+                entry.on_retire(entry)
+            drained += 1
+        self.drained_entries += drained
+        # In place, so callers holding a reference to the list (the
+        # inlined fast paths) stay coherent across a flush.
+        del pending[:drained]
 
     def push(self, now: float, addr: int, value, drain_cost: float,
              apply_words: bool = True, on_retire=None) -> float:
@@ -112,52 +139,81 @@ class WriteBuffer:
         all ``params.entries`` slots are occupied.
         """
         self.flush_retired(now)
-        cycles = self.params.issue_cycles
-        line = self._line_addr(addr)
+        cycles = self._issue_cycles
+        line = addr - (addr % self.line_bytes)
+        word = addr - (addr % WORD_BYTES)
 
-        if self.params.merging:
+        if self._merging:
             for entry in self._pending:
                 if entry.line_addr == line:
-                    entry.words[addr] = value
+                    entry.words[word] = value
                     self.merged_writes += 1
                     return cycles
 
         stall = 0.0
-        if len(self._pending) >= self.params.entries:
-            # Stall until the oldest entry retires and commits.
-            oldest = min(self._pending, key=lambda e: e.retire_time)
-            stall = max(0.0, oldest.retire_time - now)
+        if len(self._pending) >= self._capacity:
+            # Stall until the oldest entry retires and commits (the
+            # pending list is retire-time ordered; see flush_retired).
+            stall = max(0.0, self._pending[0].retire_time - now)
             self.flush_retired(now + stall)
 
         start = now + stall
-        interval = drain_cost / self.params.entries
+        interval = drain_cost / self._capacity
         retire = max(start, self._last_retire) + interval
         self._last_retire = retire
         self._pending.append(
             PendingWrite(line_addr=line, enqueue_time=start, retire_time=retire,
-                         words={addr: value}, apply_words=apply_words,
+                         words={word: value}, apply_words=apply_words,
                          on_retire=on_retire)
         )
         return cycles + stall
 
-    def find_word(self, now: float, addr: int):
-        """Forwarding check: return ``(True, value)`` if a pending store
-        to exactly ``addr`` exists at ``now``, else ``(False, None)``.
+    def push_new(self, now: float, addr: int, value,
+                 drain_cost: float) -> float:
+        """:meth:`push` for a store the caller has already determined
+        cannot merge (it scanned the pending entries and found no entry
+        for this store's line).  Identical except the merging re-scan
+        is skipped: the flush below only *removes* entries, so the
+        re-scan could never match."""
+        self.flush_retired(now)
+        cycles = self._issue_cycles
+        line = addr - (addr % self.line_bytes)
+        word = addr - (addr % WORD_BYTES)
 
-        Note the deliberate exact-address match: a synonym address is
+        stall = 0.0
+        if len(self._pending) >= self._capacity:
+            stall = max(0.0, self._pending[0].retire_time - now)
+            self.flush_retired(now + stall)
+
+        start = now + stall
+        interval = drain_cost / self._capacity
+        retire = max(start, self._last_retire) + interval
+        self._last_retire = retire
+        self._pending.append(
+            PendingWrite(line_addr=line, enqueue_time=start,
+                         retire_time=retire, words={word: value})
+        )
+        return cycles + stall
+
+    def find_word(self, now: float, addr: int):
+        """Forwarding check: return ``(True, value)`` for the youngest
+        pending store to the word holding ``addr``, else ``(False, None)``.
+
+        The match is word-granular but on the *full* address: a synonym
+        address (same location, different Annex bits above bit 32) is
         *not* found, reproducing the stale-read hazard of section 3.4.
         """
         self.flush_retired(now)
+        word = addr - (addr % WORD_BYTES)
         for entry in reversed(self._pending):
-            if addr in entry.words:
-                return True, entry.words[addr]
+            if word in entry.words:
+                return True, entry.words[word]
         return False, None
 
     def drain_all(self, now: float) -> float:
         """Memory-barrier semantics: return the time at which every
         pending entry has retired (and commit them)."""
-        done = now
-        for entry in self._pending:
-            done = max(done, entry.retire_time)
+        pending = self._pending
+        done = max(now, pending[-1].retire_time) if pending else now
         self.flush_retired(done)
         return done

@@ -68,7 +68,9 @@ class DtbAnnex:
         self._check_index(index)
         if index == 0:
             raise ValueError("annex entry 0 always refers to the local PE")
-        self._entries[index] = AnnexEntry(pe=pe, mode=mode)
+        entry = self._entries[index]
+        if entry.pe != pe or entry.mode is not mode:
+            self._entries[index] = AnnexEntry(pe=pe, mode=mode)
         self.updates += 1
         return self.params.update_cycles
 

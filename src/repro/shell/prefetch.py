@@ -53,12 +53,14 @@ class PrefetchQueue:
         self.network = network
         self.my_pe = my_pe
         self.fabric = fabric
+        self._peer_cache: dict[int, tuple] = {}
         self._fifo: deque[_InFlight] = deque()
         self._issued_since_pop = 0
         self.issues = 0
         self.pops = 0
 
     def reset(self) -> None:
+        self._peer_cache.clear()
         self._fifo.clear()
         self._issued_since_pop = 0
         self.issues = 0
@@ -85,23 +87,30 @@ class PrefetchQueue:
             )
         self.issues += 1
         self._issued_since_pop += 1
-        target = self.fabric.node(pe)
-        base = target.memsys.params.dram.access_cycles
-        mem = target.memsys.dram.access_with(
-            offset & LOCAL_ADDR_MASK,
-            off_page_cycles=15.0,
-            same_bank_cycles=target.memsys.params.dram.same_bank_cycles,
-        )
-        extra_hops = max(0, self.fabric.hops(self.my_pe, pe) - 1)
+        peer = self._peer_cache.get(pe)
+        if peer is None:
+            target = self.fabric.node(pe)
+            peer = (
+                target.memsys.dram.access_with,
+                target.memsys.params.dram.same_bank_cycles,
+                target.memsys.params.dram.access_cycles,
+                2 * max(0, self.fabric.hops(self.my_pe, pe) - 1)
+                * self.network.hop_cycles,
+                target.memsys.memory.load,
+            )
+            self._peer_cache[pe] = peer
+        access_with, same_bank, base, extra_hop_cycles, load = peer
+        local = offset & LOCAL_ADDR_MASK
+        mem = access_with(local, off_page_cycles=15.0,
+                          same_bank_cycles=same_bank)
         ready = (
             now
             + self.params.issue_cycles
             + self.params.round_trip_cycles
             + (mem - base)                      # remote off-page penalty
-            + 2 * extra_hops * self.network.hop_cycles
+            + extra_hop_cycles
         )
-        value = target.memsys.memory.load(offset & LOCAL_ADDR_MASK)
-        self._fifo.append(_InFlight(ready_time=ready, value=value))
+        self._fifo.append(_InFlight(ready_time=ready, value=load(local)))
         return self.params.issue_cycles
 
     def needs_barrier_before_pop(self) -> bool:

@@ -56,6 +56,7 @@ class RemoteAccessUnit:
         self.my_pe = my_pe
         self.memsys = memsys
         self.fabric = fabric
+        self._peer_cache: dict[int, tuple] = {}
         self._acks: list[AckRecord] = []
         #: Data snapshots for remotely-fetched cache lines, keyed by the
         #: full (annex-bearing) line address.  Snapshot staleness *is*
@@ -68,6 +69,7 @@ class RemoteAccessUnit:
     def reset(self) -> None:
         self._acks = []
         self._line_snapshots = {}
+        self._peer_cache = {}
         self.reads = 0
         self.cached_reads = 0
         self.stores = 0
@@ -76,8 +78,32 @@ class RemoteAccessUnit:
     # Helpers
     # ------------------------------------------------------------------
 
+    def _peer(self, pe: int) -> tuple:
+        """Cached per-target bindings for the hot paths: the node, the
+        one-way flight time, and bound methods of its memory system.
+        All entries are immutable for the life of the machine (nodes
+        and their units are created once), so caching them only removes
+        repeated attribute-chain walks."""
+        info = self._peer_cache.get(pe)
+        if info is None:
+            node = self.fabric.node(pe)
+            ms = node.memsys
+            info = (
+                node,
+                self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles,
+                ms.dram.access_with,
+                ms.dram.peek_access_with,
+                ms.params.dram.same_bank_cycles,
+                ms.params.dram.access_cycles,
+                ms.memory.load,
+                ms.memory.store,
+                ms.l1.invalidate,
+            )
+            self._peer_cache[pe] = info
+        return info
+
     def _flight(self, pe: int) -> float:
-        return self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles
+        return self._peer(pe)[1]
 
     def _target_memory_cycles(self, pe: int, offset: int) -> float:
         """A remote memory-controller access at the target node.
@@ -85,12 +111,9 @@ class RemoteAccessUnit:
         The off-page penalty through the remote controller is larger
         than the local one (~15 vs ~9 cycles, section 4.2).
         """
-        target = self.fabric.node(pe)
-        return target.memsys.dram.access_with(
-            self.memsys.local_addr(offset),
-            self.params.remote_off_page_cycles,
-            target.memsys.params.dram.same_bank_cycles,
-        )
+        peer = self._peer(pe)
+        return peer[2](offset & LOCAL_ADDR_MASK,
+                       self.params.remote_off_page_cycles, peer[4])
 
     # ------------------------------------------------------------------
     # Reads
@@ -99,13 +122,14 @@ class RemoteAccessUnit:
     def uncached_read(self, now: float, pe: int, offset: int):
         """Fetch one word from a remote node; returns (cycles, value)."""
         self.reads += 1
+        peer = self._peer(pe)
+        local = offset & LOCAL_ADDR_MASK
         cycles = (
             self.params.read_overhead_cycles
-            + 2 * self._flight(pe)
-            + self._target_memory_cycles(pe, offset)
+            + 2 * peer[1]
+            + peer[2](local, self.params.remote_off_page_cycles, peer[4])
         )
-        value = self.fabric.node(pe).memsys.memory.load(offset & LOCAL_ADDR_MASK)
-        return cycles, value
+        return cycles, peer[6](local)
 
     def cached_read(self, now: float, pe: int, offset: int, full_addr: int):
         """Read via a cached remote access; returns (cycles, value).
@@ -174,18 +198,17 @@ class RemoteAccessUnit:
         # The drain rate feels the target memory controller: a store
         # stream that misses the remote DRAM page on every line (16 KB
         # strides) backs the pipeline up — Figure 7's inflection.
-        target = self.fabric.node(pe)
+        (target, flight, access_with, peek_access_with, same_bank,
+         access_cycles, _load, mem_store, l1_invalidate) = self._peer(pe)
         drain = self.params.store_drain_cycles + (
-            target.memsys.dram.peek_access_with(
-                self.memsys.local_addr(offset),
+            peek_access_with(
+                offset & LOCAL_ADDR_MASK,
                 self.params.remote_off_page_cycles,
-                target.memsys.params.dram.same_bank_cycles,
-            ) - target.memsys.params.dram.access_cycles
+                same_bank,
+            ) - access_cycles
         )
 
         def on_retire(entry, _pe=pe):
-            flight = self._flight(_pe)
-            target = self.fabric.node(_pe)
             # Target-interface serialization: one sender's stream never
             # queues (service rate = injection rate), but converging
             # senders do — incast congestion.
@@ -193,12 +216,14 @@ class RemoteAccessUnit:
                           target.inbound_busy_until)
             target.inbound_busy_until = (
                 arrival + self.params.target_service_cycles)
-            mem_cycles = self._target_memory_cycles(_pe, entry.line_addr)
+            mem_cycles = access_with(
+                entry.line_addr & LOCAL_ADDR_MASK,
+                self.params.remote_off_page_cycles, same_bank)
             nbytes = 0
             for waddr, wvalue in entry.words.items():
                 local = waddr & LOCAL_ADDR_MASK
-                target.memsys.memory.store(local, wvalue)
-                target.memsys.l1.invalidate(local)
+                mem_store(local, wvalue)
+                l1_invalidate(local)
                 nbytes += WORD_BYTES
             ack_time = (
                 arrival + mem_cycles + flight

@@ -15,7 +15,9 @@ yet flushed.  If settling unblocks nothing, the program has deadlocked
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import insort
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 
 from repro.simkernel.conditions import Condition
 
@@ -60,35 +62,69 @@ class SpmdScheduler:
                 )
             threads.append(_Thread(pe=ctx.pe, ctx=ctx, gen=gen))
 
-        while True:
-            unfinished = [t for t in threads if not t.finished]
-            if not unfinished:
-                break
-            runnable = self._runnable(unfinished)
-            if not runnable:
+        # Min-clock heap of runnable threads keyed ``(clock, index)`` —
+        # the same thread the old list scan picked, since ``min`` broke
+        # clock ties by first occurrence in thread order.  Blocked
+        # threads live in a separate index list (kept in thread order so
+        # conditions are polled in the order the scan used); a runnable
+        # thread's clock only moves when it is advanced, so heap keys
+        # never go stale.
+        heap = [(t.ctx.clock, i) for i, t in enumerate(threads)]
+        heapify(heap)
+        blocked: list[int] = []
+        unfinished = len(threads)
+        while unfinished:
+            # A blocked condition can only be satisfied by another
+            # thread's progress, so poll between advances.
+            if blocked:
+                still = []
+                for i in blocked:
+                    t = threads[i]
+                    if t.condition.ready():
+                        heappush(heap, (t.ctx.clock, i))
+                    else:
+                        still.append(i)
+                blocked = still
+            if not heap:
+                # Nothing runnable: settle write buffers — a receiver
+                # may wait on bytes scheduled but not yet flushed.
                 self.machine.settle()
-                runnable = self._runnable(unfinished)
-                if not runnable:
-                    blocked = "; ".join(
+                still = []
+                for i in blocked:
+                    t = threads[i]
+                    if t.condition.ready():
+                        heappush(heap, (t.ctx.clock, i))
+                    else:
+                        still.append(i)
+                blocked = still
+                if not heap:
+                    waits = "; ".join(
                         f"pe{t.pe}@{t.ctx.clock:.0f}cy waiting on "
                         f"{self._describe(t.condition)}"
-                        for t in unfinished)
+                        for t in threads if not t.finished)
                     finished = [t.pe for t in threads if t.finished]
                     hint = (f" (threads {finished} already finished — "
                             "mismatched collective counts?)"
                             if finished else "")
                     raise DeadlockError(
-                        f"all threads blocked: {blocked}{hint}")
-            thread = min(runnable, key=lambda t: t.ctx.clock)
+                        f"all threads blocked: {waits}{hint}")
+            _clock, i = heappop(heap)
+            thread = threads[i]
+            cond = thread.condition
+            if cond is not None and not cond.ready():
+                # Went unready since it was enqueued (e.g. the awaited
+                # message was consumed); block it again.
+                insort(blocked, i)
+                continue
             self._advance(thread)
+            if thread.finished:
+                unfinished -= 1
+            elif (thread.condition is None or thread.condition.ready()):
+                heappush(heap, (thread.ctx.clock, i))
+            else:
+                insort(blocked, i)
 
         return [t.result for t in threads]
-
-    def _runnable(self, threads):
-        return [
-            t for t in threads
-            if t.condition is None or t.condition.ready()
-        ]
 
     @staticmethod
     def _describe(condition) -> str:

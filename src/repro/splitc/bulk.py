@@ -22,7 +22,8 @@ supports strided gathers, tested separately.
 
 from __future__ import annotations
 
-from repro.params import WORD_BYTES
+from repro.node.write_buffer import PendingWrite
+from repro.params import LOCAL_ADDR_MASK, WORD_BYTES
 from repro.shell.annex import ReadMode
 from repro.splitc.gptr import GlobalPtr
 
@@ -49,11 +50,114 @@ def _words(nbytes: int) -> int:
     return nbytes // WORD_BYTES
 
 
+#: Escape hatch for the golden-equivalence tests: when False every
+#: transfer runs its reference per-word loop.
+USE_BATCHED_BULK = True
+
+
 def _local_copy(sc, dst_offset: int, src_offset: int, nbytes: int) -> None:
-    for i in range(_words(nbytes)):
-        value = sc.ctx.local_read(src_offset + i * WORD_BYTES)
-        sc.ctx.local_write(dst_offset + i * WORD_BYTES, value)
-        sc.ctx.charge(sc.ctx.node.alpha.loop_iteration())
+    nwords = _words(nbytes)
+    ctx = sc.ctx
+    if USE_BATCHED_BULK and ctx.node.memsys._fast_read:
+        _local_copy_fast(ctx, dst_offset, src_offset, nwords)
+        return
+    for i in range(nwords):
+        value = ctx.local_read(src_offset + i * WORD_BYTES)
+        ctx.local_write(dst_offset + i * WORD_BYTES, value)
+        ctx.charge(ctx.node.alpha.loop_iteration())
+
+
+def _local_copy_fast(ctx, dst_offset: int, src_offset: int,
+                     nwords: int) -> None:
+    """The word-copy loop with the local read and write pipelines
+    inlined (exact for the ``_fast_read`` node shape: direct-mapped L1,
+    no L2, never-missing TLB).  Identical state transitions and clock
+    additions in the same order as the reference loop; only the Python
+    call chain per word is flattened."""
+    memsys = ctx.node.memsys
+    wb = memsys.write_buffer
+    pending = wb._pending            # flush_retired trims it in place
+    wb_flush = wb.flush_retired
+    wb_push = wb.push
+    issue_cycles = wb._issue_cycles
+    merging = wb._merging
+    capacity = wb._capacity
+    wline = wb.line_bytes
+    l1 = memsys.l1
+    lb = l1._line_bytes
+    nsets = l1._num_sets
+    tags = l1._tags
+    tags_get = tags.get
+    hit_cycles = memsys.params.l1.hit_cycles
+    dram_access = memsys.dram.access
+    mem_get = memsys.memory._words.get
+    mask = LOCAL_ADDR_MASK
+    wbytes = WORD_BYTES
+    loop_it = ctx.node.alpha.loop_iteration()
+    clock = ctx.clock
+    for i in range(nwords):
+        # --- local_read: memsys.read, flattened ---
+        a = src_offset + i * wbytes
+        found = False
+        if pending:
+            if pending[0].retire_time <= clock:
+                wb_flush(clock)
+            w = a - (a % wbytes)
+            for entry in reversed(pending):
+                if w in entry.words:
+                    found = True
+                    fv = entry.words[w]
+                    break
+        line = a - (a % lb)
+        index = (a // lb) % nsets
+        if tags_get(index) == line:
+            l1.hits += 1
+            clock += hit_cycles
+        else:
+            l1.misses += 1
+            tags[index] = line
+            clock += dram_access(a & mask)
+        if found:
+            value = fv
+        else:
+            la = a & mask
+            value = mem_get(la - (la % wbytes), 0)
+        # --- local_write: memsys.write_cycles, flattened (merging
+        # pre-scan runs before any flush, preserving the quirk that a
+        # match on a retired entry falls through push into a
+        # zero-drain enqueue) ---
+        a = dst_offset + i * wbytes
+        line = a - (a % wline)
+        matched = False
+        if merging:
+            for entry in pending:
+                if entry.line_addr == line:
+                    matched = True
+                    break
+        if matched:
+            clock += wb_push(clock, a, value, 0.0)
+        else:
+            drain = dram_access(line & mask)
+            # write_buffer.push_new, inlined.
+            if pending and pending[0].retire_time <= clock:
+                wb_flush(clock)
+            stall = 0.0
+            if len(pending) >= capacity:
+                stall = pending[0].retire_time - clock
+                if stall < 0.0:
+                    stall = 0.0
+                wb_flush(clock + stall)
+            start = clock + stall
+            retire = wb._last_retire
+            if start > retire:
+                retire = start
+            retire += drain / capacity
+            wb._last_retire = retire
+            pending.append(PendingWrite(line, start, retire,
+                                        {a - (a % wbytes): value}))
+            clock += issue_cycles + stall
+        clock += loop_it
+    ctx.clock = clock
 
 
 # ----------------------------------------------------------------------
@@ -64,11 +168,104 @@ def bulk_read_uncached(sc, dst_offset: int, src: GlobalPtr,
                        nbytes: int) -> None:
     """One blocking uncached read per word (~13 MB/s)."""
     sc._setup_annex(src.pe)
-    for i in range(_words(nbytes)):
-        cycles, value = sc.ctx.node.remote.uncached_read(
-            sc.ctx.clock, src.pe, src.addr + i * WORD_BYTES)
-        sc.ctx.charge(cycles + sc.ctx.node.alpha.loop_iteration())
-        sc.ctx.local_write(dst_offset + i * WORD_BYTES, value)
+    nwords = _words(nbytes)
+    ctx = sc.ctx
+    if USE_BATCHED_BULK and ctx.node.memsys._fast_read:
+        _bulk_read_uncached_fast(ctx, src.pe, src.addr, dst_offset, nwords)
+        return
+    for i in range(nwords):
+        cycles, value = ctx.node.remote.uncached_read(
+            ctx.clock, src.pe, src.addr + i * WORD_BYTES)
+        ctx.charge(cycles + ctx.node.alpha.loop_iteration())
+        ctx.local_write(dst_offset + i * WORD_BYTES, value)
+
+
+def _bulk_read_uncached_fast(ctx, pe: int, src_addr: int, dst_offset: int,
+                             nwords: int) -> None:
+    """The uncached-read loop with the remote unit and the local store
+    pipeline inlined — the same target-DRAM transitions, clock
+    additions, and write-buffer schedule in the same order as the
+    reference loop."""
+    node = ctx.node
+    unit = node.remote
+    peer = unit._peer(pe)
+    t_dram = peer[0].memsys.dram
+    t_il = t_dram._interleave
+    t_banks = t_dram._banks
+    t_page = t_dram._page_bytes
+    t_access = t_dram._access_cycles
+    t_open = t_dram._open_row
+    t_get = peer[0].memsys.memory._words.get
+    r_off_page = unit.params.remote_off_page_cycles
+    t_same_bank = peer[4]
+    # uncached_read charges ``overhead + 2*flight + mem`` left to
+    # right, so the first two terms fold into one prefix constant.
+    base = unit.params.read_overhead_cycles + 2 * peer[1]
+    memsys = node.memsys
+    wb = memsys.write_buffer
+    pending = wb._pending            # flush_retired trims it in place
+    wb_flush = wb.flush_retired
+    wb_push = wb.push
+    issue_cycles = wb._issue_cycles
+    merging = wb._merging
+    capacity = wb._capacity
+    wline = wb.line_bytes
+    dram_access = memsys.dram.access
+    mask = LOCAL_ADDR_MASK
+    wbytes = WORD_BYTES
+    loop_it = node.alpha.loop_iteration()
+    clock = ctx.clock
+    for i in range(nwords):
+        # --- remote.uncached_read, flattened (access_with inlined on
+        # the target DRAM) ---
+        local = (src_addr + i * wbytes) & mask
+        unit.reads += 1
+        block = local // t_il
+        bank = block % t_banks
+        row = ((block // t_banks) * t_il + local % t_il) // t_page
+        cyc = t_access
+        t_dram.accesses += 1
+        if t_open[bank] != row:
+            t_dram.row_misses += 1
+            cyc += r_off_page
+            if bank == t_dram._last_bank:
+                t_dram.same_bank_conflicts += 1
+                cyc += t_same_bank
+            t_open[bank] = row
+        t_dram._last_bank = bank
+        value = t_get(local - (local % wbytes), 0)
+        clock += (base + cyc) + loop_it
+        # --- local_write: memsys.write_cycles, flattened ---
+        a = dst_offset + i * wbytes
+        line = a - (a % wline)
+        matched = False
+        if merging:
+            for entry in pending:
+                if entry.line_addr == line:
+                    matched = True
+                    break
+        if matched:
+            clock += wb_push(clock, a, value, 0.0)
+        else:
+            drain = dram_access(line & mask)
+            if pending and pending[0].retire_time <= clock:
+                wb_flush(clock)
+            stall = 0.0
+            if len(pending) >= capacity:
+                stall = pending[0].retire_time - clock
+                if stall < 0.0:
+                    stall = 0.0
+                wb_flush(clock + stall)
+            start = clock + stall
+            retire = wb._last_retire
+            if start > retire:
+                retire = start
+            retire += drain / capacity
+            wb._last_retire = retire
+            pending.append(PendingWrite(line, start, retire,
+                                        {a - (a % wbytes): value}))
+            clock += issue_cycles + stall
+    ctx.clock = clock
 
 
 def bulk_read_cached(sc, dst_offset: int, src: GlobalPtr,
@@ -150,18 +347,116 @@ def bulk_write_stores(sc, dst: GlobalPtr, src_offset: int,
     index = sc._setup_annex(dst.pe)
     bus = sc.ctx.node.params.shell.remote.bus_interference_cycles
     unit = sc.ctx.node.remote
-    for i in range(_words(nbytes)):
-        read_cycles, value = sc.ctx.node.memsys.read(
-            sc.ctx.clock, src_offset + i * WORD_BYTES)
-        sc.ctx.charge(read_cycles)
-        if read_cycles > 2.0:          # source missed the cache
-            sc.ctx.charge(bus)
-        offset = dst.addr + i * WORD_BYTES
-        full = sc._full_addr(index, offset)
-        sc.ctx.charge(unit.store(sc.ctx.clock, dst.pe, offset, value, full))
-        sc.ctx.charge(sc.ctx.node.alpha.loop_iteration())
-    sc.ctx.memory_barrier()
-    sc.ctx.clock = unit.wait_for_acks(sc.ctx.clock)
+    nwords = _words(nbytes)
+    ctx = sc.ctx
+    if (USE_BATCHED_BULK and ctx.node.memsys._fast_read
+            and dst.addr + (nwords - 1) * WORD_BYTES <= LOCAL_ADDR_MASK):
+        _store_stream_fast(sc, ctx, unit, dst.pe, dst.addr, src_offset,
+                           nwords, index, bus)
+    else:
+        for i in range(nwords):
+            read_cycles, value = ctx.node.memsys.read(
+                ctx.clock, src_offset + i * WORD_BYTES)
+            ctx.charge(read_cycles)
+            if read_cycles > 2.0:      # source missed the cache
+                ctx.charge(bus)
+            offset = dst.addr + i * WORD_BYTES
+            full = sc._full_addr(index, offset)
+            ctx.charge(unit.store(ctx.clock, dst.pe, offset, value, full))
+            ctx.charge(ctx.node.alpha.loop_iteration())
+    ctx.memory_barrier()
+    ctx.clock = unit.wait_for_acks(ctx.clock)
+
+
+def _store_stream_fast(sc, ctx, unit, pe: int, dst_addr: int,
+                       src_offset: int, nwords: int, index: int,
+                       bus: float) -> None:
+    """The store-stream loop with the local read pipeline and the
+    write-buffer merge inlined.
+
+    Words that merge into an open entry for their line are absorbed
+    here (the same entry/word updates and issue cycles ``push`` would
+    make); the non-merging word of each line still goes through
+    :meth:`RemoteAccessUnit.store`, which builds the retire closure —
+    one cross-module call per cache line instead of per word.  Annex
+    composition is hoisted: ``compose_address`` is ``(index << shift)
+    | offset``, linear in the offset while offsets stay below the
+    segment reach (the caller guarantees it).
+    """
+    node = ctx.node
+    memsys = node.memsys
+    wb = memsys.write_buffer
+    pending = wb._pending            # flush_retired trims it in place
+    wb_flush = wb.flush_retired
+    issue_cycles = wb._issue_cycles
+    merging = wb._merging
+    wline = wb.line_bytes
+    l1 = memsys.l1
+    lb = l1._line_bytes
+    nsets = l1._num_sets
+    tags = l1._tags
+    tags_get = tags.get
+    hit_cycles = memsys.params.l1.hit_cycles
+    dram_access = memsys.dram.access
+    mem_get = memsys.memory._words.get
+    mask = LOCAL_ADDR_MASK
+    wbytes = WORD_BYTES
+    loop_it = node.alpha.loop_iteration()
+    full_base = node.annex.compose_address(index, dst_addr)
+    store = unit.store
+    clock = ctx.clock
+    for i in range(nwords):
+        # --- source read: memsys.read, flattened ---
+        a = src_offset + i * wbytes
+        found = False
+        if pending:
+            if pending[0].retire_time <= clock:
+                wb_flush(clock)
+            w = a - (a % wbytes)
+            for entry in reversed(pending):
+                if w in entry.words:
+                    found = True
+                    fv = entry.words[w]
+                    break
+        line = a - (a % lb)
+        cindex = (a // lb) % nsets
+        if tags_get(cindex) == line:
+            l1.hits += 1
+            rc = hit_cycles
+        else:
+            l1.misses += 1
+            tags[cindex] = line
+            rc = dram_access(a & mask)
+        if found:
+            value = fv
+        else:
+            la = a & mask
+            value = mem_get(la - (la % wbytes), 0)
+        clock += rc
+        if rc > 2.0:                   # source missed the cache
+            clock += bus
+        # --- remote store: push's flush-then-merge-scan inlined; the
+        # drain peek the unit would make is pure, so skipping it for
+        # merged words changes nothing ---
+        full = full_base + i * wbytes
+        if pending and pending[0].retire_time <= clock:
+            wb_flush(clock)
+        fline = full - (full % wline)
+        merged = False
+        if merging:
+            for entry in pending:
+                if entry.line_addr == fline:
+                    entry.words[full - (full % wbytes)] = value
+                    merged = True
+                    break
+        if merged:
+            wb.merged_writes += 1
+            unit.stores += 1
+            clock += issue_cycles
+        else:
+            clock += store(clock, pe, dst_addr + i * wbytes, value, full)
+        clock += loop_it
+    ctx.clock = clock
 
 
 def bulk_write_blt(sc, dst: GlobalPtr, src_offset: int, nbytes: int,
@@ -302,13 +597,20 @@ def bulk_put(sc, dst: GlobalPtr, src_offset: int, nbytes: int) -> None:
     index = sc._setup_annex(dst.pe)
     bus = sc.ctx.node.params.shell.remote.bus_interference_cycles
     unit = sc.ctx.node.remote
-    for i in range(_words(nbytes)):
-        read_cycles, value = sc.ctx.node.memsys.read(
-            sc.ctx.clock, src_offset + i * WORD_BYTES)
-        sc.ctx.charge(read_cycles)
+    nwords = _words(nbytes)
+    ctx = sc.ctx
+    if (USE_BATCHED_BULK and ctx.node.memsys._fast_read
+            and dst.addr + (nwords - 1) * WORD_BYTES <= LOCAL_ADDR_MASK):
+        _store_stream_fast(sc, ctx, unit, dst.pe, dst.addr, src_offset,
+                           nwords, index, bus)
+        return
+    for i in range(nwords):
+        read_cycles, value = ctx.node.memsys.read(
+            ctx.clock, src_offset + i * WORD_BYTES)
+        ctx.charge(read_cycles)
         if read_cycles > 2.0:
-            sc.ctx.charge(bus)
+            ctx.charge(bus)
         offset = dst.addr + i * WORD_BYTES
         full = sc._full_addr(index, offset)
-        sc.ctx.charge(unit.store(sc.ctx.clock, dst.pe, offset, value, full))
-        sc.ctx.charge(sc.ctx.node.alpha.loop_iteration())
+        ctx.charge(unit.store(ctx.clock, dst.pe, offset, value, full))
+        ctx.charge(ctx.node.alpha.loop_iteration())

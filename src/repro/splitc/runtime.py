@@ -118,20 +118,26 @@ class SplitC:
 
     def read(self, gp: GlobalPtr):
         """Blocking global read; ~128 cycles remote (section 4.4)."""
-        if gp.is_local_to(self.my_pe):
-            with self._timed("read (local)"):
-                value = self.ctx.local_read(gp.addr)
+        return self.read_from(gp.pe, gp.addr)
+
+    def read_from(self, pe: int, addr: int):
+        """:meth:`read` on a destructured (processor, address) pair —
+        hot callers skip building the :class:`GlobalPtr`."""
+        ctx = self.ctx
+        before = ctx.clock
+        if pe == self.my_pe:
+            value = ctx.local_read(addr)
+            self._record("read (local)", before)
             return value
         if self.plan.read_mechanism == "cached":
-            with self._timed("read (cached remote)"):
-                value = self._read_cached_with_flush(gp)
+            value = self._read_cached_with_flush(GlobalPtr(pe, addr))
+            self._record("read (cached remote)", before)
             return value
-        with self._timed("read (remote)"):
-            self._setup_annex(gp.pe)
-            cycles, value = self.ctx.node.remote.uncached_read(
-                self.ctx.clock, gp.pe, gp.addr)
-            self.ctx.charge(cycles + self.ctx.node.params.shell.remote.
-                            splitc_read_extra_cycles)
+        self._setup_annex(pe)
+        cycles, value = ctx.node.remote.uncached_read(ctx.clock, pe, addr)
+        ctx.charge(cycles + ctx.node.params.shell.remote.
+                   splitc_read_extra_cycles)
+        self._record("read (remote)", before)
         return value
 
     def _read_cached_with_flush(self, gp: GlobalPtr):
@@ -180,33 +186,43 @@ class SplitC:
         the queue and stores each value to its target.  When the
         16-entry queue fills, outstanding gets are drained first.
         """
-        if gp.is_local_to(self.my_pe):
-            with self._timed("get (local)"):
-                value = self.ctx.local_read(gp.addr)
-                self.ctx.local_write(local_offset, value)
+        self.get_from(gp.pe, gp.addr, local_offset)
+
+    def get_from(self, pe: int, addr: int, local_offset: int) -> None:
+        """:meth:`get` on a destructured (processor, address) pair."""
+        before = self.ctx.clock
+        if pe == self.my_pe:
+            value = self.ctx.local_read(addr)
+            self.ctx.local_write(local_offset, value)
+            self._record("get (local)", before)
             return
-        with self._timed("get (issue)"):
-            pf = self.ctx.node.prefetch
-            if pf.outstanding() >= pf.depth:
-                self._drain_gets()
-            self._setup_annex(gp.pe)
-            self.ctx.charge(pf.issue(self.ctx.clock, gp.pe, gp.addr))
-            self.ctx.charge(pf.params.table_cycles)   # table update
-            self._get_targets.append(local_offset)
+        pf = self.ctx.node.prefetch
+        if pf.outstanding() >= pf.depth:
+            self._drain_gets()
+        self._setup_annex(pe)
+        self.ctx.charge(pf.issue(self.ctx.clock, pe, addr))
+        self.ctx.charge(pf.params.table_cycles)   # table update
+        self._get_targets.append(local_offset)
+        self._record("get (issue)", before)
 
     def put(self, gp: GlobalPtr, value) -> None:
         """Initiate a split-phase write; ~45 cycles (section 5.4)."""
-        if gp.is_local_to(self.my_pe):
-            with self._timed("put (local)"):
-                self.ctx.local_write(gp.addr, value)
+        self.put_to(gp.pe, gp.addr, value)
+
+    def put_to(self, pe: int, addr: int, value) -> None:
+        """:meth:`put` on a destructured (processor, address) pair."""
+        ctx = self.ctx
+        before = ctx.clock
+        if pe == self.my_pe:
+            ctx.local_write(addr, value)
+            self._record("put (local)", before)
             return
-        with self._timed("put (issue)"):
-            index = self._setup_annex(gp.pe)
-            full = self._full_addr(index, gp.addr)
-            self.ctx.charge(self.ctx.node.remote.store(
-                self.ctx.clock, gp.pe, gp.addr, value, full))
-            self.ctx.charge(
-                self.ctx.node.params.shell.remote.splitc_put_extra_cycles)
+        index = self._setup_annex(pe)
+        full = self._full_addr(index, addr)
+        ctx.charge(ctx.node.remote.store(ctx.clock, pe, addr, value, full))
+        ctx.charge(
+            ctx.node.params.shell.remote.splitc_put_extra_cycles)
+        self._record("put (issue)", before)
 
     def _drain_gets(self) -> None:
         pf = self.ctx.node.prefetch
@@ -227,15 +243,16 @@ class SplitC:
         returns; pending puts are acknowledged; pending BLT transfers
         have completed.
         """
-        with self._timed("sync"):
-            self._drain_gets()
-            self.ctx.memory_barrier()
-            self.ctx.clock = self.ctx.node.remote.wait_for_acks(
-                self.ctx.clock)
-            for transfer in self._pending_blt:
-                self.ctx.clock = self.ctx.node.blt.wait(self.ctx.clock,
-                                                        transfer)
-            self._pending_blt = []
+        before = self.ctx.clock
+        self._drain_gets()
+        self.ctx.memory_barrier()
+        self.ctx.clock = self.ctx.node.remote.wait_for_acks(
+            self.ctx.clock)
+        for transfer in self._pending_blt:
+            self.ctx.clock = self.ctx.node.blt.wait(self.ctx.clock,
+                                                    transfer)
+        self._pending_blt = []
+        self._record("sync", before)
 
     @property
     def pending_gets(self) -> int:

@@ -1,0 +1,229 @@
+"""Golden-equivalence suite: the fast paths ARE the reference model.
+
+Every batched/inlined fast path added for performance keeps an escape
+hatch back to the reference per-access implementation:
+
+* probe harness: ``sweep_fn=None`` / ``memo_key=None`` force the
+  per-access loop and disable the point memo;
+* ``repro.splitc.bulk.USE_BATCHED_BULK`` — inlined bulk word loops;
+* ``repro.shell.blt.USE_BATCHED_COPY`` — range-op BLT data movement;
+* ``repro.apps.em3d.kernels.USE_FAST_COMPUTE`` — the inlined EM3D
+  compute phase.
+
+These tests run the same experiment down both paths and assert the
+results are *identical* — same floats, same counters, same memory
+contents — not merely close.  Any divergence means a fast path changed
+the model, which is a correctness bug regardless of which side is
+right.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.microbench import probes
+from repro.microbench.harness import clear_probe_memo
+from repro.node.memsys import t3d_memory_system, workstation_memory_system
+from repro.params import WORD_BYTES, t3d_machine_params
+from repro.shell import blt as blt_mod
+from repro.splitc import bulk
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import SplitC
+
+KB = 1024
+
+#: Small but cache-exercising probe geometry: spans the 8 KB L1 so the
+#: curves contain hit, miss, and page-crossing regimes.
+PROBE_SIZES = [4 * KB, 16 * KB, 64 * KB]
+
+
+@contextmanager
+def _reference_paths():
+    """Temporarily flip every fast-path escape hatch to the reference
+    implementation."""
+    saved = (bulk.USE_BATCHED_BULK, blt_mod.USE_BATCHED_COPY)
+    bulk.USE_BATCHED_BULK = False
+    blt_mod.USE_BATCHED_COPY = False
+    try:
+        yield
+    finally:
+        bulk.USE_BATCHED_BULK, blt_mod.USE_BATCHED_COPY = saved
+
+
+def _points(curves):
+    return [(p.size, p.stride, p.avg_cycles, p.accesses)
+            for p in curves.points]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 / Figure 2: local read and write sweeps
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_memsys", [t3d_memory_system,
+                                         workstation_memory_system],
+                         ids=["t3d", "workstation"])
+def test_fig1_read_sweep_matches_reference(make_memsys):
+    fast = probes.local_read_probe(make_memsys(), sizes=PROBE_SIZES,
+                                   memo_key=None)
+    ref = probes.local_read_probe(make_memsys(), sizes=PROBE_SIZES,
+                                  sweep_fn=None, memo_key=None)
+    assert _points(fast) == _points(ref)
+
+
+@pytest.mark.parametrize("make_memsys", [t3d_memory_system,
+                                         workstation_memory_system],
+                         ids=["t3d", "workstation"])
+def test_fig2_write_sweep_matches_reference(make_memsys):
+    fast = probes.local_write_probe(make_memsys(), sizes=PROBE_SIZES,
+                                    memo_key=None)
+    ref = probes.local_write_probe(make_memsys(), sizes=PROBE_SIZES,
+                                   sweep_fn=None, memo_key=None)
+    assert _points(fast) == _points(ref)
+
+
+def test_probe_memo_replays_identical_points():
+    clear_probe_memo()
+    ms = t3d_memory_system()
+    first = probes.local_read_probe(ms, sizes=PROBE_SIZES)
+    replay = probes.local_read_probe(ms, sizes=PROBE_SIZES)
+    no_memo = probes.local_read_probe(ms, sizes=PROBE_SIZES, memo_key=None)
+    assert _points(first) == _points(replay) == _points(no_memo)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: remote read probe (memoized vs direct)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("mechanism", ["uncached", "cached", "splitc"])
+def test_fig4_remote_read_memo_matches_direct(mechanism):
+    clear_probe_memo()
+    memo = probes.remote_read_probe(mechanism=mechanism, sizes=PROBE_SIZES)
+    direct = probes.remote_read_probe(mechanism=mechanism,
+                                      sizes=PROBE_SIZES, memo_key=None)
+    assert _points(memo) == _points(direct)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: bulk transfers, batched vs per-word reference
+# ----------------------------------------------------------------------
+
+FIG8_SIZES = [8, 32, 512, 2 * KB, 8 * KB, 32 * KB]
+
+
+def test_fig8_bulk_read_curves_match_reference():
+    fast = probes.bulk_read_bandwidth_probe(sizes=FIG8_SIZES)
+    with _reference_paths():
+        ref = probes.bulk_read_bandwidth_probe(sizes=FIG8_SIZES)
+    assert fast == ref
+
+
+def test_fig8_bulk_write_curves_match_reference():
+    fast = probes.bulk_write_bandwidth_probe(sizes=FIG8_SIZES[1:])
+    with _reference_paths():
+        ref = probes.bulk_write_bandwidth_probe(sizes=FIG8_SIZES[1:])
+    assert fast == ref
+
+
+def _fresh_sc():
+    machine = Machine(t3d_machine_params((2, 1, 1)))
+    return machine, SplitC(machine.make_contexts()[0])
+
+
+def _machine_fingerprint(machine, sc):
+    """Every observable the word loops touch: clocks, counters, and the
+    raw memory words of both nodes."""
+    out = [sc.ctx.clock]
+    for pe in range(machine.num_nodes):
+        node = machine.node(pe)
+        ms = node.memsys
+        out.append((pe, ms.l1.hits, ms.l1.misses,
+                    ms.dram.accesses, ms.dram.row_misses,
+                    ms.dram.same_bank_conflicts,
+                    ms.write_buffer.merged_writes,
+                    ms.write_buffer.drained_entries,
+                    node.remote.reads, node.remote.stores,
+                    sorted(ms.memory._words.items())))
+    return out
+
+
+@pytest.mark.parametrize("op", ["write_stores", "read_uncached",
+                                "local_copy", "put"])
+def test_bulk_word_loops_state_identical(op):
+    def drive(sc):
+        if op == "write_stores":
+            bulk.bulk_write_stores(sc, GlobalPtr(1, 0x6000), 0x0, 512)
+        elif op == "read_uncached":
+            bulk.bulk_read_uncached(sc, 0x6000, GlobalPtr(1, 0x0), 512)
+        elif op == "local_copy":
+            bulk._local_copy(sc, 0x6000, 0x0, 512)
+        else:
+            sc.bulk_put(GlobalPtr(1, 0x6000), 0x0, 512)
+            sc.sync()
+        sc.ctx.memory_barrier()
+        sc.ctx.clock = sc.ctx.node.remote.wait_for_acks(sc.ctx.clock)
+
+    m_fast, sc_fast = _fresh_sc()
+    for i in range(64):
+        sc_fast.ctx.node.memsys.memory.store(i * WORD_BYTES, float(i))
+    drive(sc_fast)
+
+    with _reference_paths():
+        m_ref, sc_ref = _fresh_sc()
+        for i in range(64):
+            sc_ref.ctx.node.memsys.memory.store(i * WORD_BYTES, float(i))
+        drive(sc_ref)
+
+    assert (_machine_fingerprint(m_fast, sc_fast)
+            == _machine_fingerprint(m_ref, sc_ref))
+
+
+@pytest.mark.parametrize("stride", [None, WORD_BYTES, 64])
+def test_blt_batched_copy_identical(stride):
+    def drive(sc):
+        node = sc.ctx.node
+        cycles, xfer = node.blt.start_read(sc.ctx.clock, 1, 0x0, 0x6000,
+                                           256, stride)
+        sc.ctx.charge(cycles)
+        sc.ctx.clock = node.blt.wait(sc.ctx.clock, xfer)
+        cycles, xfer = node.blt.start_write(sc.ctx.clock, 1, 0x8000, 0x6000,
+                                            256, stride)
+        sc.ctx.charge(cycles)
+        sc.ctx.clock = node.blt.wait(sc.ctx.clock, xfer)
+
+    m_fast, sc_fast = _fresh_sc()
+    src = m_fast.node(1).memsys.memory
+    for i in range(64):
+        src.store(i * WORD_BYTES, 1000.0 + i)
+    drive(sc_fast)
+
+    with _reference_paths():
+        m_ref, sc_ref = _fresh_sc()
+        src = m_ref.node(1).memsys.memory
+        for i in range(64):
+            src.store(i * WORD_BYTES, 1000.0 + i)
+        drive(sc_ref)
+
+    assert (_machine_fingerprint(m_fast, sc_fast)
+            == _machine_fingerprint(m_ref, sc_ref))
+
+
+# ----------------------------------------------------------------------
+# Figure 9: the EM3D compute-phase fast path
+# ----------------------------------------------------------------------
+
+def test_fig9_em3d_sweep_matches_reference():
+    from repro.apps.em3d import driver, kernels
+
+    kw = dict(fractions=(0.0, 0.5), nodes_per_pe=30, degree=4,
+              shape=(2, 1, 1))
+    fast = driver.sweep(**kw)
+    saved = kernels.USE_FAST_COMPUTE
+    kernels.USE_FAST_COMPUTE = False
+    try:
+        ref = driver.sweep(**kw)
+    finally:
+        kernels.USE_FAST_COMPUTE = saved
+    assert fast == ref

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Perf smoke test: run the two historically slowest benchmarks under a
+wall-clock budget.
+
+``test_fig1_local_read`` and ``test_fig9_em3d`` were the two slowest
+benchmarks before the fast-path work (6.8 s and 6.0 s mean); together
+they exercise every optimized layer — memoized probe sweeps, the O(1)
+tag stores, the heap scheduler, and the inlined EM3D compute phase.
+Post-optimization the pair completes in about 4 s including pytest
+start-up, so the budget below fails loudly if a change claws back even
+half of the speedup, while leaving headroom for a noisy machine.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+BUDGET_SECONDS = 9.0
+BENCHMARKS = [
+    str(ROOT / "benchmarks" / "test_fig1_local_read.py"),
+    str(ROOT / "benchmarks" / "test_fig9_em3d.py"),
+]
+
+
+def main() -> int:
+    import pytest
+
+    start = time.perf_counter()
+    rc = pytest.main(BENCHMARKS + ["--benchmark-only", "-q"])
+    elapsed = time.perf_counter() - start
+    if rc != 0:
+        print(f"bench-quick: benchmarks FAILED (pytest exit {rc})")
+        return rc
+    if elapsed > BUDGET_SECONDS:
+        print(f"bench-quick: PERF REGRESSION — {elapsed:.1f} s exceeds the "
+              f"{BUDGET_SECONDS:.0f} s budget.  Run 'make bench' and compare "
+              "against BENCH_PR1.json, then 'repro bench fig9 / fig1' to "
+              "profile the regression.")
+        return 1
+    print(f"bench-quick: OK — {elapsed:.1f} s "
+          f"(budget {BUDGET_SECONDS:.0f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Condense a pytest-benchmark JSON dump into a perf-trajectory snapshot.
+
+``make bench`` runs the benchmark suite with ``--benchmark-json`` and
+pipes the raw dump through this script, producing ``BENCH_PR1.json``:
+one mean wall-clock figure per benchmark plus speedups against the
+pre-optimization baselines recorded below.  Future PRs diff their own
+snapshot against the committed one to catch performance regressions.
+
+Usage: bench_snapshot.py RAW_JSON OUT_JSON
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Mean wall-clock seconds of the two slowest benchmarks before the
+#: fast-path PR (batched transfers, O(1) tags, heap scheduler,
+#: memoized probes), measured on the same container with
+#: ``pytest benchmarks/ --benchmark-only``.
+PRE_PR_BASELINES = {
+    "test_fig1_local_read": 6.7881,
+    "test_fig9_em3d": 6.0163,
+}
+
+
+def condense(raw: dict) -> dict:
+    means = {b["name"]: round(b["stats"]["mean"], 4)
+             for b in raw["benchmarks"]}
+    speedups = {
+        name: round(baseline / means[name], 2)
+        for name, baseline in PRE_PR_BASELINES.items()
+        if name in means and means[name] > 0
+    }
+    return {
+        "schema": "bench-snapshot-v1",
+        "command": "make bench",
+        "units": "seconds, mean wall-clock per benchmark",
+        "benchmark_count": len(means),
+        "total_mean_seconds": round(sum(means.values()), 4),
+        "benchmarks": dict(sorted(means.items())),
+        "pre_pr_baseline_seconds": PRE_PR_BASELINES,
+        "speedup_vs_pre_pr": speedups,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        raw = json.load(handle)
+    snapshot = condense(raw)
+    with open(argv[2], "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    for name, speedup in snapshot["speedup_vs_pre_pr"].items():
+        print(f"{name}: {snapshot['benchmarks'][name]:.3f} s "
+              f"({speedup:.2f}x vs pre-PR {PRE_PR_BASELINES[name]:.3f} s)")
+    print(f"wrote {argv[2]} ({snapshot['benchmark_count']} benchmarks, "
+          f"{snapshot['total_mean_seconds']:.1f} s total mean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
