@@ -1,15 +1,21 @@
 PYTHON ?= python3
 
-.PHONY: test bench bench-quick experiments examples quickcheck clean
+.PHONY: test bench bench-quick docs-check experiments examples \
+	quickcheck clean
 
 test:
 	$(PYTHON) -m pytest tests/
 
+# Snapshot to a fresh file per PR so the perf trajectory accumulates
+# (BENCH_PR1.json stays as the fast-path baseline to diff against).
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=.bench_raw.json
 	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
-		BENCH_PR1.json
+		BENCH_PR2.json
+
+docs-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q
 
 bench-quick:
 	PYTHONPATH=src $(PYTHON) tools/bench_quick.py

@@ -38,6 +38,7 @@ from repro.splitc.gptr import PE_SHIFT as GPTR_PE_SHIFT
 from repro.splitc.gptr import GlobalPtr
 from repro.node.write_buffer import PendingWrite
 from repro.splitc.runtime import run_splitc
+from repro.trace import tracer as _trace
 
 __all__ = ["Em3dResult", "Layout", "VERSIONS", "run_em3d"]
 
@@ -538,6 +539,8 @@ def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
     me = sc.my_pe
     slots = plan.ghost_slot[me]
     local_write = sc.ctx.local_write
+    start_clock = sc.ctx.clock if _trace.TRACE_ENABLED else 0.0
+    filled = 0
     for src in sorted(plan.needed[me]):
         for idx in plan.needed[me][src]:
             slot = slots[(src, idx)]
@@ -547,8 +550,14 @@ def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
             else:
                 value = sc.read_from(src, vals + idx * VALUE_BYTES)
                 local_write(ghosts + slot * VALUE_BYTES, value)
+            filled += 1
     if use_get:
         sc.sync()
+    if _trace.TRACE_ENABLED:
+        _trace.emit("annex_ghost_fill", t=start_clock, pe=me,
+                    direction=direction,
+                    mechanism="get" if use_get else "read",
+                    count=filled, cycles=sc.ctx.clock - start_clock)
 
 
 def _ghost_fill_puts(sc, graph, layout, direction: str):
@@ -559,6 +568,8 @@ def _ghost_fill_puts(sc, graph, layout, direction: str):
     me = sc.my_pe
     local_read = sc.ctx.local_read
     put_to = sc.put_to
+    start_clock = sc.ctx.clock if _trace.TRACE_ENABLED else 0.0
+    pushed = 0
     for consumer in range(graph.num_pes):
         if consumer == me:
             continue
@@ -570,7 +581,12 @@ def _ghost_fill_puts(sc, graph, layout, direction: str):
             slot = slots[(me, idx)]
             value = local_read(vals + idx * VALUE_BYTES)
             put_to(consumer, ghosts + slot * VALUE_BYTES, value)
+            pushed += 1
     # Completion is deferred to the all_store_sync that follows.
+    if _trace.TRACE_ENABLED:
+        _trace.emit("annex_ghost_fill", t=start_clock, pe=me,
+                    direction=direction, mechanism="put",
+                    count=pushed, cycles=sc.ctx.clock - start_clock)
 
 
 def _gather_and_bulk(sc, graph, layout, direction: str):
@@ -594,12 +610,19 @@ def _gather_and_bulk(sc, graph, layout, direction: str):
     sc.ctx.memory_barrier()
     yield from sc.barrier()            # all gather buffers ready
     # Fetch: one bulk get per source processor.
+    start_clock = sc.ctx.clock if _trace.TRACE_ENABLED else 0.0
+    fetched = 0
     for src in sorted(plan.needed[me]):
         idxs = plan.needed[me][src]
         buf = layout.gather + me * layout.gather_pair_words * WORD_BYTES
         dst = ghosts + plan.slot_base(me, src) * WORD_BYTES
         sc.bulk_get(dst, GlobalPtr(src, buf), len(idxs) * WORD_BYTES)
+        fetched += len(idxs)
     sc.sync()
+    if _trace.TRACE_ENABLED:
+        _trace.emit("annex_ghost_fill", t=start_clock, pe=me,
+                    direction=direction, mechanism="bulk",
+                    count=fetched, cycles=sc.ctx.clock - start_clock)
 
 
 def _ghost_region(graph, layout, direction: str):

@@ -10,6 +10,11 @@ Commands:
 * ``hazards`` — run the three semantic-hazard probes.
 * ``bench EXPERIMENT [--quick] [--top N]`` — run one experiment under
   ``cProfile`` and print the top cumulative hotspots.
+* ``trace EXPERIMENT [--quick] [-o FILE] [--chrome FILE]`` — run one
+  experiment with event tracing on and write the JSONL stream
+  (optionally also a Chrome trace for ``chrome://tracing``).
+* ``counters EXPERIMENT [--quick]`` — run one experiment traced and
+  print the per-primitive event/counter summary.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_experiments(args) -> int:
@@ -132,7 +137,31 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def _cmd_trace(args) -> int:
+    from repro.reporting.observability import run_traced
+    output = args.output or f"{args.experiment}.trace.jsonl"
+    tracer = run_traced(args.experiment, quick=args.quick, sink=output)
+    distinct = len(tracer.counters)
+    print(f"wrote {output} ({tracer.events_emitted} events, "
+          f"{distinct} distinct types)")
+    if args.chrome:
+        from repro.trace.chrome import write_chrome
+        n = write_chrome(tracer.ring, args.chrome)
+        print(f"wrote {args.chrome} ({n} Chrome trace events)")
+    return 0
+
+
+def _cmd_counters(args) -> int:
+    from repro.reporting.observability import run_traced
+    from repro.trace.summary import format_summary
+    tracer = run_traced(args.experiment, quick=args.quick)
+    print(f"{args.experiment}:")
+    print(format_summary(tracer))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argparse tree (exposed for docs-integrity tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CRAY-T3D reproduction toolkit (ISCA 1995)")
@@ -175,7 +204,34 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_series)
 
-    args = parser.parse_args(argv)
+    p = sub.add_parser("trace",
+                       help="run an experiment with event tracing on")
+    p.add_argument("experiment",
+                   help="fig1, fig2, fig4-fig9, em3d, or headlines")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced problem sizes")
+    p.add_argument("-o", "--output", default=None,
+                   help="JSONL output path (default EXPERIMENT"
+                        ".trace.jsonl)")
+    p.add_argument("--chrome", default=None, metavar="FILE",
+                   help="also write a Chrome trace (chrome://tracing) "
+                        "converted from the in-memory ring")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("counters",
+                       help="run an experiment traced and print the "
+                            "per-primitive counter summary")
+    p.add_argument("experiment",
+                   help="fig1, fig2, fig4-fig9, em3d, or headlines")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced problem sizes")
+    p.set_defaults(func=_cmd_counters)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

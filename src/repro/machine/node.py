@@ -56,6 +56,10 @@ class Node:
         self.pe = pe
         self.params = params
         self.memsys = MemorySystem(params.node)
+        # Trace attribution: a node's memory system (and its write
+        # buffer) emit events under this processor's identity.
+        self.memsys.owner_pe = pe
+        self.memsys.write_buffer.owner_pe = pe
         self.alpha = AlphaCosts(params.node.alpha)
         self.annex = DtbAnnex(params.shell.annex, pe)
         self.remote = RemoteAccessUnit(

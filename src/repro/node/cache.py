@@ -22,6 +22,7 @@ dict per set (oldest first), giving O(1) LRU touch and eviction.
 from __future__ import annotations
 
 from repro.params import CacheParams
+from repro.trace import tracer as _trace
 
 __all__ = ["Cache"]
 
@@ -43,6 +44,18 @@ class Cache:
             self._ways: dict[int, dict[int, None]] = {}
         self.hits = 0
         self.misses = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("cache", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals.
+
+        Hit/miss counts are maintained identically by the reference
+        path and every batched fast path (PR 1 commits its local
+        deltas here), so they are safe to harvest after any run.
+        """
+        return {"hits": self.hits, "misses": self.misses,
+                "resident_lines": self.resident_lines}
 
     def reset(self) -> None:
         """Empty the cache (e.g. between probe runs)."""

@@ -16,6 +16,7 @@ The stride probes of Figure 1 recover exactly these parameters:
 from __future__ import annotations
 
 from repro.params import DramParams
+from repro.trace import tracer as _trace
 
 __all__ = ["Dram"]
 
@@ -40,6 +41,14 @@ class Dram:
         self.accesses = 0
         self.row_misses = 0
         self.same_bank_conflicts = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("dram", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"accesses": self.accesses,
+                "row_misses": self.row_misses,
+                "same_bank_conflicts": self.same_bank_conflicts}
 
     def reset(self) -> None:
         """Forget all open rows and history (e.g. between probe runs)."""

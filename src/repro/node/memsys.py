@@ -26,6 +26,7 @@ from repro.params import (
     t3d_node_params,
     workstation_node_params,
 )
+from repro.trace import tracer as _trace
 
 __all__ = ["MemorySystem", "t3d_memory_system", "workstation_memory_system"]
 
@@ -53,6 +54,22 @@ class MemorySystem:
         # never misses) gets a flattened read path in :meth:`read`.
         self._fast_read = (self.l1._assoc == 1 and self.l2 is None
                            and self.tlb._never_misses)
+        #: Processor identity for trace attribution; set by the owning
+        #: Node (a bare memory system has none).
+        self.owner_pe: int | None = None
+
+    def counters(self) -> dict:
+        """Counter-registry hook: the composed units' totals, prefixed
+        by unit name (``l1.hits``, ``dram.row_misses``, ...)."""
+        merged = {}
+        units = [("tlb", self.tlb), ("l1", self.l1), ("l2", self.l2),
+                 ("dram", self.dram), ("wb", self.write_buffer)]
+        for prefix, unit in units:
+            if unit is None:
+                continue
+            for key, value in unit.counters().items():
+                merged[f"{prefix}.{key}"] = value
+        return merged
 
     @staticmethod
     def local_addr(addr: int) -> int:
@@ -164,7 +181,10 @@ class MemorySystem:
         for every pending write to reach memory.
         """
         done = self.write_buffer.drain_all(now)
-        return max(now + self.params.alpha.memory_barrier_cycles, done)
+        done = max(now + self.params.alpha.memory_barrier_cycles, done)
+        if _trace.TRACE_ENABLED:
+            _trace.emit("mem_barrier", t=now, pe=self.owner_pe, done=done)
+        return done
 
     # ------------------------------------------------------------------
     # Probe fast paths (exact batched equivalents of per-access loops).

@@ -11,6 +11,7 @@ this fully-associative LRU model under the two parameterizations in
 from __future__ import annotations
 
 from repro.params import TlbParams
+from repro.trace import tracer as _trace
 
 __all__ = ["Tlb"]
 
@@ -31,6 +32,12 @@ class Tlb:
         self._entries: dict[int, None] = {}
         self.hits = 0
         self.misses = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("tlb", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"hits": self.hits, "misses": self.misses}
 
     def reset(self) -> None:
         self._entries.clear()

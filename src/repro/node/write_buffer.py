@@ -31,6 +31,7 @@ the write-buffer hazards of the paper reproducible:
 from __future__ import annotations
 
 from repro.params import WORD_BYTES, WriteBufferParams
+from repro.trace import tracer as _trace
 
 __all__ = ["WriteBuffer", "PendingWrite"]
 
@@ -82,6 +83,22 @@ class WriteBuffer:
         self._last_retire: float = 0.0
         self.merged_writes = 0
         self.drained_entries = 0
+        #: Processor identity for trace attribution; set by the owning
+        #: Node (a bare memory system has none).
+        self.owner_pe: int | None = None
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("write_buffer", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals.
+
+        Only counters every code path maintains are reported: the
+        inlined EM3D store path of PR 1 appends entries directly, so a
+        per-push counter here would undercount it.
+        """
+        return {"merged_writes": self.merged_writes,
+                "drained_entries": self.drained_entries,
+                "pending": len(self._pending)}
 
     def reset(self) -> None:
         self._pending.clear()
@@ -122,6 +139,8 @@ class WriteBuffer:
                 entry.on_retire(entry)
             drained += 1
         self.drained_entries += drained
+        if _trace.TRACE_ENABLED and drained:
+            _trace.emit("wb_drain", t=now, pe=self.owner_pe, count=drained)
         # In place, so callers holding a reference to the list (the
         # inlined fast paths) stay coherent across a flush.
         del pending[:drained]
@@ -148,6 +167,9 @@ class WriteBuffer:
                 if entry.line_addr == line:
                     entry.words[word] = value
                     self.merged_writes += 1
+                    if _trace.TRACE_ENABLED:
+                        _trace.emit("wb_merge", t=now, pe=self.owner_pe,
+                                    line=line)
                     return cycles
 
         stall = 0.0
@@ -166,6 +188,9 @@ class WriteBuffer:
                          words={word: value}, apply_words=apply_words,
                          on_retire=on_retire)
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("wb_push", t=now, pe=self.owner_pe, line=line,
+                        stall=stall, retire=retire)
         return cycles + stall
 
     def push_new(self, now: float, addr: int, value,
@@ -193,6 +218,9 @@ class WriteBuffer:
             PendingWrite(line_addr=line, enqueue_time=start,
                          retire_time=retire, words={word: value})
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("wb_push", t=now, pe=self.owner_pe, line=line,
+                        stall=stall, retire=retire)
         return cycles + stall
 
     def find_word(self, now: float, addr: int):

@@ -1,0 +1,71 @@
+"""Traced experiment runs: the machinery behind ``repro trace`` and
+``repro counters``.
+
+Both commands run one named experiment — a figure series (fig1,
+fig2, fig4-fig9), the em3d sweep, or the headline probes — with the
+global tracer enabled, then hand the tracer back for reporting:
+``repro trace`` writes the JSONL event stream (optionally converted to
+Chrome trace format), ``repro counters`` tabulates the per-primitive
+summary.  Keeping the runner here (rather than in the CLI) lets tests
+drive traced runs without argparse.
+"""
+
+from __future__ import annotations
+
+from repro.trace import tracer as _trace
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_traced"]
+
+
+def _run_series(name: str, quick: bool) -> None:
+    from repro.reporting.series import generate_series
+    generate_series(name, quick=quick)
+
+
+def _run_em3d(quick: bool) -> None:
+    from repro.apps.em3d import sweep
+    nodes, degree = (60, 5) if quick else (200, 10)
+    sweep(fractions=(0.0, 0.2, 0.5), nodes_per_pe=nodes, degree=degree)
+
+
+def _run_headlines(quick: bool) -> None:
+    from repro.microbench.probes import measure_headlines
+    measure_headlines()
+
+
+#: Every experiment the trace/counters commands accept.  Figure names
+#: dispatch through :mod:`repro.reporting.series`; the extras run the
+#: em3d sweep and the headline latency probes directly.
+EXPERIMENTS = ("fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+               "fig9", "em3d", "headlines")
+
+
+def run_experiment(name: str, quick: bool = False) -> None:
+    """Run one named experiment for its side effects (results are
+    discarded; what matters here is the event stream it generates)."""
+    if name not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    if name == "em3d":
+        _run_em3d(quick)
+    elif name == "headlines":
+        _run_headlines(quick)
+    else:
+        _run_series(name, quick)
+
+
+def run_traced(name: str, quick: bool = False, sink=None,
+               ring_capacity: int | None = None):
+    """Run ``name`` with tracing on; returns the global tracer.
+
+    ``sink``, if given, receives the JSONL stream as the run proceeds
+    (a path string is opened and closed for you).  After the call the
+    tracer is disabled but its ring and counters survive, so callers
+    can export or tabulate the run.
+    """
+    _trace.enable(sink=sink, ring_capacity=ring_capacity)
+    try:
+        run_experiment(name, quick=quick)
+    finally:
+        _trace.disable()
+    return _trace.TRACER

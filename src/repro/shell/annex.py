@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.params import ANNEX_BIT_SHIFT, AnnexParams, LOCAL_ADDR_MASK
+from repro.trace import tracer as _trace
 
 __all__ = ["AnnexEntry", "DtbAnnex", "ReadMode"]
 
@@ -54,6 +55,12 @@ class DtbAnnex:
             AnnexEntry(pe=my_pe) for _ in range(params.entries)
         ]
         self.updates = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("annex", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"updates": self.updates}
 
     def entry(self, index: int) -> AnnexEntry:
         self._check_index(index)
@@ -72,6 +79,10 @@ class DtbAnnex:
         if entry.pe != pe or entry.mode is not mode:
             self._entries[index] = AnnexEntry(pe=pe, mode=mode)
         self.updates += 1
+        if _trace.TRACE_ENABLED:
+            # The Annex has no clock of its own; the event is untimed.
+            _trace.emit("annex_update", pe=self.my_pe, index=index,
+                        target=pe, mode=mode.value)
         return self.params.update_cycles
 
     def compose_address(self, index: int, offset: int) -> int:

@@ -15,6 +15,7 @@ after the last arrival.
 from __future__ import annotations
 
 from repro.params import BarrierParams
+from repro.trace import tracer as _trace
 
 __all__ = ["HardwareBarrier"]
 
@@ -31,6 +32,13 @@ class HardwareBarrier:
         self._ended: dict[int, set[int]] = {}
         self._epoch_of_pe = [0] * num_pes
         self.barriers_completed = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("barrier", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"barriers_completed": self.barriers_completed,
+                "epochs_open": len(self._arrivals)}
 
     def reset(self) -> None:
         self._arrivals = {}
@@ -50,6 +58,8 @@ class HardwareBarrier:
         if pe in arrivals:
             raise RuntimeError(f"pe {pe} started epoch {epoch} twice")
         arrivals[pe] = now + self.params.start_cycles
+        if _trace.TRACE_ENABLED:
+            _trace.emit("barrier_start", t=now, pe=pe, epoch=epoch)
         return self.params.start_cycles, epoch
 
     def all_arrived(self, epoch: int) -> bool:
@@ -83,6 +93,8 @@ class HardwareBarrier:
         self._check_pe(pe)
         ended = self._ended.setdefault(epoch, set())
         ended.add(pe)
+        if _trace.TRACE_ENABLED:
+            _trace.emit("barrier_end", t=now, pe=pe, epoch=epoch)
         if len(ended) == self.num_pes:
             self._arrivals.pop(epoch, None)
             self._ended.pop(epoch, None)

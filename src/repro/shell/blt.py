@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.params import BltParams, LOCAL_ADDR_MASK, WORD_BYTES
+from repro.trace import tracer as _trace
 
 __all__ = ["BlockTransferEngine", "BltTransfer"]
 
@@ -42,6 +43,14 @@ class BlockTransferEngine:
         self.my_pe = my_pe
         self.fabric = fabric
         self.transfers_started = 0
+        self.bytes_moved = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("blt", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"transfers_started": self.transfers_started,
+                "bytes_moved": self.bytes_moved}
 
     def _words(self, nbytes: int) -> int:
         if nbytes <= 0:
@@ -58,6 +67,14 @@ class BlockTransferEngine:
         per_word = (self.params.cycles_per_word if direction == "read"
                     else self.params.write_cycles_per_word)
         completion = now + initiate + self._words(nbytes) * per_word
+        self.bytes_moved += nbytes
+        if _trace.TRACE_ENABLED:
+            _trace.emit("blt_setup", t=now, pe=self.my_pe,
+                        direction=direction, nbytes=nbytes,
+                        strided=strided, cycles=initiate)
+            _trace.emit("blt_stream", t=now + initiate, pe=self.my_pe,
+                        direction=direction, nbytes=nbytes,
+                        completion=completion)
         return initiate, completion
 
     def _gather(self, src_mem, src_offset: int, step: int,

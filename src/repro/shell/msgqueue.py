@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.params import MessageQueueParams, NetworkParams
+from repro.trace import tracer as _trace
 
 __all__ = ["Message", "MessageUnit"]
 
@@ -41,6 +42,14 @@ class MessageUnit:
         self._inbox: list[Message] = []
         self.sends = 0
         self.interrupts_taken = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("msgqueue", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"sends": self.sends,
+                "interrupts_taken": self.interrupts_taken,
+                "inbox_pending": len(self._inbox)}
 
     def reset(self) -> None:
         self._inbox = []
@@ -65,6 +74,9 @@ class MessageUnit:
         self.fabric.node(dst_pe).msgq._inbox.append(
             Message(src_pe=self.my_pe, payload=payload, arrival_time=arrival)
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("msg_send", t=now, pe=self.my_pe, target=dst_pe,
+                        nwords=len(payload), arrival=arrival)
         return self.params.send_cycles
 
     def message_available(self, now: float) -> bool:
@@ -95,4 +107,8 @@ class MessageUnit:
         cycles = self.params.interrupt_cycles
         if via_handler:
             cycles += self.params.handler_switch_cycles
+        if _trace.TRACE_ENABLED:
+            _trace.emit("msg_receive", t=now, pe=self.my_pe,
+                        src=msg.src_pe, cycles=cycles,
+                        via_handler=via_handler)
         return cycles, msg

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.params import LOCAL_ADDR_MASK, NetworkParams, PrefetchParams
+from repro.trace import tracer as _trace
 
 __all__ = ["PrefetchQueue", "QueueFullError"]
 
@@ -58,6 +59,13 @@ class PrefetchQueue:
         self._issued_since_pop = 0
         self.issues = 0
         self.pops = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("prefetch", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"issues": self.issues, "pops": self.pops,
+                "outstanding": len(self._fifo)}
 
     def reset(self) -> None:
         self._peer_cache.clear()
@@ -111,6 +119,9 @@ class PrefetchQueue:
             + extra_hop_cycles
         )
         self._fifo.append(_InFlight(ready_time=ready, value=load(local)))
+        if _trace.TRACE_ENABLED:
+            _trace.emit("prefetch_issue", t=now, pe=self.my_pe, target=pe,
+                        offset=local, depth=len(self._fifo), ready=ready)
         return self.params.issue_cycles
 
     def needs_barrier_before_pop(self) -> bool:
@@ -130,4 +141,7 @@ class PrefetchQueue:
         self._issued_since_pop = 0
         head = self._fifo.popleft()
         completion = max(now, head.ready_time) + self.params.pop_cycles
+        if _trace.TRACE_ENABLED:
+            _trace.emit("prefetch_pop", t=now, pe=self.my_pe,
+                        cycles=completion - now, depth=len(self._fifo))
         return completion - now, head.value

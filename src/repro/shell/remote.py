@@ -33,6 +33,7 @@ from repro.params import (
     RemoteAccessParams,
     WORD_BYTES,
 )
+from repro.trace import tracer as _trace
 
 __all__ = ["AckRecord", "RemoteAccessUnit"]
 
@@ -65,6 +66,14 @@ class RemoteAccessUnit:
         self.reads = 0
         self.cached_reads = 0
         self.stores = 0
+        if _trace.TRACE_ENABLED:
+            _trace.TRACER.register_provider("remote", self)
+
+    def counters(self) -> dict:
+        """Counter-registry hook: this unit's lifetime totals."""
+        return {"uncached_reads": self.reads,
+                "cached_line_fills": self.cached_reads,
+                "stores": self.stores}
 
     def reset(self) -> None:
         self._acks = []
@@ -129,6 +138,9 @@ class RemoteAccessUnit:
             + 2 * peer[1]
             + peer[2](local, self.params.remote_off_page_cycles, peer[4])
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("remote_read", t=now, pe=self.my_pe,
+                        target=pe, offset=local, cycles=cycles)
         return cycles, peer[6](local)
 
     def cached_read(self, now: float, pe: int, offset: int, full_addr: int):
@@ -156,6 +168,10 @@ class RemoteAccessUnit:
             + 2 * self._flight(pe)
             + self._target_memory_cycles(pe, offset)
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("remote_read_cached", t=now, pe=self.my_pe,
+                        target=pe, offset=offset & LOCAL_ADDR_MASK,
+                        cycles=cycles)
         target_mem = self.fabric.node(pe).memsys.memory
         line_full = l1.line_addr(full_addr)
         line_local = line_full & LOCAL_ADDR_MASK
@@ -233,16 +249,24 @@ class RemoteAccessUnit:
                 AckRecord(drain_time=entry.retire_time, ack_time=ack_time,
                           nbytes=nbytes)
             )
+            if _trace.TRACE_ENABLED:
+                _trace.emit("remote_ack", t=entry.retire_time,
+                            pe=self.my_pe, target=_pe, nbytes=nbytes,
+                            ack_time=ack_time)
             self.fabric.notify_store_arrival(
                 src_pe=self.my_pe, dst_pe=_pe, nbytes=nbytes,
                 arrival_time=arrival + mem_cycles,
                 addr=entry.line_addr & LOCAL_ADDR_MASK,
             )
 
-        return self.memsys.write_buffer.push(
+        cycles = self.memsys.write_buffer.push(
             now, full_addr, value, drain,
             apply_words=False, on_retire=on_retire,
         )
+        if _trace.TRACE_ENABLED:
+            _trace.emit("remote_store", t=now, pe=self.my_pe, target=pe,
+                        offset=offset & LOCAL_ADDR_MASK, cycles=cycles)
+        return cycles
 
     def outstanding(self, now: float) -> int:
         """Remote writes the status register counts at time ``now``.

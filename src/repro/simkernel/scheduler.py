@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 
 from repro.simkernel.conditions import Condition
+from repro.trace import tracer as _trace
 
 __all__ = ["DeadlockError", "SpmdScheduler"]
 
@@ -145,6 +146,8 @@ class SpmdScheduler:
         if thread.condition is not None:
             thread.ctx.clock = thread.condition.resume_time(thread.ctx.clock)
             thread.condition = None
+        if _trace.TRACE_ENABLED:
+            _trace.emit("ctx_switch", t=thread.ctx.clock, pe=thread.pe)
         try:
             yielded = next(thread.gen)
         except StopIteration as stop:

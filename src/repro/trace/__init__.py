@@ -1,0 +1,38 @@
+"""Zero-cost-when-disabled instrumentation for the T3D model.
+
+The paper's method is observability — gray-box probes inferring
+machine structure from latency curves — and this package applies the
+same discipline to the *model itself*: a global tracer with typed
+event records (:mod:`repro.trace.events`), a JSONL sink and in-memory
+ring buffer (:mod:`repro.trace.tracer`), a Chrome-trace exporter
+(:mod:`repro.trace.chrome`), and per-primitive counter summaries
+(:mod:`repro.trace.summary`).
+
+Instrumentation hooks live in the shell primitives, the node memory
+system, the SPMD scheduler, and the EM3D ghost-fill phases; all of
+them are guarded by ``repro.trace.tracer.TRACE_ENABLED`` so the PR 1
+fast paths pay one branch when tracing is off.  See
+``docs/observability.md`` for the event schema, counter catalog, and
+a worked diagnosis.
+
+Quick start::
+
+    from repro.trace import tracer as trace
+    from repro.trace.summary import format_summary
+
+    with trace.tracing(sink="run.jsonl") as t:
+        run_workload()
+    print(format_summary(t))
+
+or from the command line::
+
+    python -m repro trace fig9 --quick -o fig9.jsonl
+    python -m repro counters fig9 --quick
+"""
+
+from repro.trace import tracer
+from repro.trace.events import EVENT_TYPES, validate_record
+from repro.trace.tracer import TRACER, Tracer, disable, enable, tracing
+
+__all__ = ["EVENT_TYPES", "TRACER", "Tracer", "disable", "enable",
+           "tracer", "tracing", "validate_record"]

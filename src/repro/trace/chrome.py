@@ -1,0 +1,89 @@
+"""Chrome-trace exporter: view a run in chrome://tracing or Perfetto.
+
+The Trace Event Format wants microsecond timestamps; simulated cycles
+convert through the machine's 150 MHz clock, so one simulated
+microsecond on the timeline is one microsecond of T3D time.  Each
+processor renders as one thread row (``tid = pe``); events with no
+timestamp (e.g. Annex updates issued outside a clocked context) are
+skipped, and events that carry a duration-like field (``cycles``, or a
+completion/ready time) render as complete ("X") spans so the put
+pipeline, BLT streaming, and barrier waits are visible as bars rather
+than instants.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.params import cycles_to_us
+
+__all__ = ["to_chrome", "write_chrome"]
+
+#: Events whose span end is an absolute field rather than a duration.
+_END_FIELDS = {
+    "blt_stream": "completion",
+    "prefetch_issue": "ready",
+    "remote_ack": "ack_time",
+    "mem_barrier": "done",
+    "msg_send": "arrival",
+}
+
+
+def _duration_cycles(record: dict) -> float:
+    end_field = _END_FIELDS.get(record["ev"])
+    if end_field is not None:
+        end = record.get(end_field)
+        t = record["t"]
+        if end is not None and t is not None and end > t:
+            return end - t
+    cycles = record.get("cycles")
+    if isinstance(cycles, (int, float)) and cycles > 0:
+        return cycles
+    return 0.0
+
+
+def to_chrome(events) -> dict:
+    """Convert an iterable of event records to a Trace Event Format
+    document (the dict form, ready for ``json.dump``)."""
+    trace_events = []
+    pes = set()
+    for record in events:
+        t = record.get("t")
+        if t is None:
+            continue
+        pe = record.get("pe")
+        tid = pe if pe is not None else 0
+        pes.add(tid)
+        duration = _duration_cycles(record)
+        args = {k: v for k, v in record.items()
+                if k not in ("ev", "t", "pe")}
+        entry = {
+            "name": record["ev"],
+            "cat": "t3d",
+            "ph": "X" if duration > 0 else "i",
+            "ts": cycles_to_us(t),
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        }
+        if duration > 0:
+            entry["dur"] = cycles_to_us(duration)
+        else:
+            entry["s"] = "t"          # instant event, thread scope
+        trace_events.append(entry)
+    meta = [{"name": "process_name", "ph": "M", "pid": 0,
+             "args": {"name": "CRAY-T3D model"}}]
+    for tid in sorted(pes):
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": tid, "args": {"name": f"pe{tid}"}})
+    return {"traceEvents": meta + trace_events,
+            "displayTimeUnit": "ns"}
+
+
+def write_chrome(events, path: str) -> int:
+    """Write a Chrome-trace JSON file; returns the event count."""
+    doc = to_chrome(events)
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+        handle.write("\n")
+    return sum(1 for e in doc["traceEvents"] if e["ph"] != "M")

@@ -1,0 +1,264 @@
+"""The typed event catalog of the instrumentation layer.
+
+Every event the tracer will accept is registered here, with its field
+schema (name, accepted types, unit).  The registry serves three
+masters:
+
+* :func:`repro.trace.tracer.emit` rejects unregistered event names, so
+  a typo in an instrumentation hook fails loudly the first time it
+  fires rather than polluting traces silently;
+* :func:`validate_record` lets tests (and downstream consumers) check
+  that a JSONL line carries exactly the documented fields with the
+  documented types;
+* ``docs/observability.md`` documents the same catalog, and
+  ``tests/test_docs.py`` asserts the two never drift apart.
+
+All events implicitly carry three base fields:
+
+=======  ==================  ==========================================
+``ev``   str                 the event type (a key of ``EVENT_TYPES``)
+``t``    float or null       simulated time of the event, in cycles
+                             (null for events with no natural
+                             timestamp, e.g. Annex register updates
+                             issued outside a clocked context)
+``pe``   int or null         processor the event belongs to (null when
+                             the emitting unit has no processor
+                             identity, e.g. a bare memory system)
+=======  ==================  ==========================================
+
+Timestamps are *simulated* 150 MHz cycles, never wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventSpec", "Field", "EVENT_TYPES", "BASE_FIELDS",
+           "validate_record"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One event field: accepted Python types, unit, one-line doc."""
+
+    types: tuple
+    unit: str
+    doc: str
+    required: bool = True
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Schema of one event type."""
+
+    name: str
+    primitive: str                  # which hardware primitive emits it
+    doc: str
+    fields: dict = field(default_factory=dict)
+
+
+_num = (int, float)
+_int = (int,)
+_str = (str,)
+_bool = (bool,)
+
+
+def _spec(name, primitive, doc, **fields) -> EventSpec:
+    return EventSpec(name=name, primitive=primitive, doc=doc, fields=fields)
+
+
+#: Every event type the tracer accepts, keyed by name.
+EVENT_TYPES: dict[str, EventSpec] = {spec.name: spec for spec in [
+    # ------------------------------------------------------------- shell
+    _spec(
+        "remote_read", "remote",
+        "One uncached remote read (shell/remote.py).",
+        target=Field(_int, "pe", "processor whose memory was read"),
+        offset=Field(_int, "bytes", "local offset read at the target"),
+        cycles=Field(_num, "cycles", "total latency charged to the CPU"),
+    ),
+    _spec(
+        "remote_read_cached", "remote",
+        "A cached remote read that missed locally and fetched a whole "
+        "32-byte line (shell/remote.py); local snapshot hits emit no "
+        "event.",
+        target=Field(_int, "pe", "processor whose memory was read"),
+        offset=Field(_int, "bytes", "local offset read at the target"),
+        cycles=Field(_num, "cycles", "line-fetch latency"),
+    ),
+    _spec(
+        "remote_store", "remote",
+        "A non-blocking remote store entering the write buffer "
+        "(shell/remote.py).",
+        target=Field(_int, "pe", "destination processor"),
+        offset=Field(_int, "bytes", "local offset written at the target"),
+        cycles=Field(_num, "cycles", "CPU cycles charged (issue + stall)"),
+    ),
+    _spec(
+        "remote_ack", "remote",
+        "A remote store's packet retired from the write buffer, landed "
+        "at the target, and its acknowledgement was scheduled "
+        "(shell/remote.py on_retire).  ``t`` is the drain time.",
+        target=Field(_int, "pe", "destination processor"),
+        nbytes=Field(_int, "bytes", "payload bytes in the packet"),
+        ack_time=Field(_num, "cycles", "when the ack clears the status "
+                                       "register"),
+    ),
+    _spec(
+        "prefetch_issue", "prefetch",
+        "One binding prefetch issued into the 16-entry FIFO "
+        "(shell/prefetch.py).",
+        target=Field(_int, "pe", "processor being fetched from"),
+        offset=Field(_int, "bytes", "local offset fetched"),
+        depth=Field(_int, "entries", "FIFO occupancy after the issue"),
+        ready=Field(_num, "cycles", "when the reply reaches the FIFO"),
+    ),
+    _spec(
+        "prefetch_pop", "prefetch",
+        "One pop of the prefetch FIFO head (shell/prefetch.py).",
+        cycles=Field(_num, "cycles", "pop cost including any stall for "
+                                     "the reply"),
+        depth=Field(_int, "entries", "FIFO occupancy after the pop"),
+    ),
+    _spec(
+        "annex_update", "annex",
+        "A DTB Annex register write (shell/annex.py), 23 cycles.  "
+        "``t`` is null: the Annex has no clock of its own.",
+        index=Field(_int, "", "Annex register index"),
+        target=Field(_int, "pe", "processor the entry now names"),
+        mode=Field(_str, "", "function code: 'uncached' or 'cached'"),
+    ),
+    _spec(
+        "blt_setup", "blt",
+        "A block-transfer engine initiation (shell/blt.py) — the "
+        "~27,000-cycle OS call plus any stride setup.",
+        direction=Field(_str, "", "'read' or 'write'"),
+        nbytes=Field(_int, "bytes", "transfer size"),
+        strided=Field(_bool, "", "whether a stride setup was charged"),
+        cycles=Field(_num, "cycles", "initiation cost charged to the CPU"),
+    ),
+    _spec(
+        "blt_stream", "blt",
+        "The data-streaming span of a BLT transfer (shell/blt.py); "
+        "``t`` is the stream start, ``completion`` the finish.",
+        direction=Field(_str, "", "'read' or 'write'"),
+        nbytes=Field(_int, "bytes", "transfer size"),
+        completion=Field(_num, "cycles", "when the last word lands"),
+    ),
+    _spec(
+        "msg_send", "msgqueue",
+        "A PAL-mediated hardware message injection (shell/msgqueue.py).",
+        target=Field(_int, "pe", "destination processor"),
+        nwords=Field(_int, "words", "payload words (at most 4)"),
+        arrival=Field(_num, "cycles", "when the message reaches the "
+                                      "target's queue"),
+    ),
+    _spec(
+        "msg_receive", "msgqueue",
+        "Delivery of a hardware message, including the interrupt "
+        "(shell/msgqueue.py).",
+        src=Field(_int, "pe", "sender"),
+        cycles=Field(_num, "cycles", "interrupt (+ handler switch) cost"),
+        via_handler=Field(_bool, "", "whether a user handler was "
+                                     "dispatched"),
+    ),
+    _spec(
+        "barrier_start", "barrier",
+        "A processor announced arrival at the fuzzy barrier "
+        "(shell/barrier.py).",
+        epoch=Field(_int, "", "barrier epoch joined"),
+    ),
+    _spec(
+        "barrier_end", "barrier",
+        "A processor executed end-barrier, resetting its tree bit "
+        "(shell/barrier.py).",
+        epoch=Field(_int, "", "barrier epoch ended"),
+    ),
+    # ----------------------------------------------------- memory system
+    _spec(
+        "wb_push", "write_buffer",
+        "A store allocated a new write-buffer entry "
+        "(node/write_buffer.py).",
+        line=Field(_int, "bytes", "line address of the new entry"),
+        stall=Field(_num, "cycles", "CPU stall because the buffer was "
+                                    "full (0 in steady state)"),
+        retire=Field(_num, "cycles", "scheduled drain-completion time"),
+    ),
+    _spec(
+        "wb_merge", "write_buffer",
+        "A store merged into an open write-buffer entry for its line "
+        "(node/write_buffer.py) — the ~20 ns dense-store fast case.",
+        line=Field(_int, "bytes", "line address merged into"),
+    ),
+    _spec(
+        "wb_drain", "write_buffer",
+        "One flush committed retired write-buffer entries to memory "
+        "(node/write_buffer.py); emitted only when at least one entry "
+        "drained.",
+        count=Field(_int, "entries", "entries committed by this flush"),
+    ),
+    _spec(
+        "mem_barrier", "memsys",
+        "An Alpha ``mb``: the write buffer was drained to memory "
+        "(node/memsys.py).",
+        done=Field(_num, "cycles", "time at which the drain completed"),
+    ),
+    # ---------------------------------------------------------- simkernel
+    _spec(
+        "ctx_switch", "scheduler",
+        "The SPMD scheduler resumed a thread (simkernel/scheduler.py); "
+        "``t`` is the thread's clock at resumption.",
+        # No extra fields: the (t, pe) base pair says it all.
+    ),
+    # --------------------------------------------------------------- apps
+    _spec(
+        "annex_ghost_fill", "em3d",
+        "One EM3D ghost-fill phase on one processor "
+        "(apps/em3d/kernels.py): the per-element remote traffic that "
+        "fills ghost copies before a compute phase.",
+        direction=Field(_str, "", "'e' or 'h' half-step"),
+        mechanism=Field(_str, "", "'read', 'get', 'put', or 'bulk'"),
+        count=Field(_int, "elements", "ghost elements moved by this "
+                                      "processor"),
+        cycles=Field(_num, "cycles", "clock advance over the fill phase"),
+    ),
+]}
+
+#: The implicit fields every record carries.
+BASE_FIELDS = {
+    "ev": Field(_str, "", "event type"),
+    "t": Field(_num, "cycles", "simulated timestamp", required=False),
+    "pe": Field(_int, "pe", "owning processor", required=False),
+}
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches its event schema.
+
+    A record is a decoded JSONL line (or a ring-buffer entry): the base
+    fields plus exactly the registered fields of its event type.
+    """
+    if "ev" not in record:
+        raise ValueError(f"record has no 'ev' field: {record!r}")
+    name = record["ev"]
+    spec = EVENT_TYPES.get(name)
+    if spec is None:
+        raise ValueError(f"unregistered event type {name!r}")
+    t = record.get("t")
+    if t is not None and not isinstance(t, _num):
+        raise ValueError(f"{name}: t must be numeric or null, got {t!r}")
+    pe = record.get("pe")
+    if pe is not None and not isinstance(pe, int):
+        raise ValueError(f"{name}: pe must be int or null, got {pe!r}")
+    extra = set(record) - set(spec.fields) - set(BASE_FIELDS)
+    if extra:
+        raise ValueError(f"{name}: unregistered fields {sorted(extra)}")
+    for fname, fspec in spec.fields.items():
+        if fname not in record:
+            if fspec.required:
+                raise ValueError(f"{name}: missing field {fname!r}")
+            continue
+        value = record[fname]
+        if not isinstance(value, fspec.types):
+            raise ValueError(
+                f"{name}.{fname}: expected {fspec.types}, got {value!r}")

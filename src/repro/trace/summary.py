@@ -1,0 +1,96 @@
+"""Per-primitive counter summaries over a traced run.
+
+Two tables come out of one traced run:
+
+* **Event totals** — per event type: how many fired, the summed
+  ``cycles`` they charged, the summed ``nbytes`` they moved.  These
+  come from the tracer's counter registry and group by the primitive
+  that emitted them (remote, prefetch, blt, annex, msgqueue, barrier,
+  write_buffer, memsys, scheduler, em3d).
+* **Unit counters** — the hardware-level counters of every model unit
+  constructed during the run (cache hits/misses, DRAM row misses,
+  write-buffer merges, prefetch issues, ...), summed per unit kind.
+  These cost nothing per access: they are the counters the units
+  already keep, harvested once at report time.
+
+``repro counters <experiment>`` prints both; the same rows are
+available structured for programmatic use.
+"""
+
+from __future__ import annotations
+
+from repro.params import cycles_to_us
+from repro.trace.events import EVENT_TYPES
+
+__all__ = ["event_rows", "provider_rows", "format_summary"]
+
+
+def event_rows(tracer) -> list[dict]:
+    """Event-total rows, grouped by primitive, largest cycles first
+    within each primitive."""
+    rows = []
+    for name, counter in tracer.counters.items():
+        spec = EVENT_TYPES[name]
+        rows.append({
+            "primitive": spec.primitive,
+            "event": name,
+            "count": counter.count,
+            "cycles": round(counter.cycles, 1),
+            "us": round(cycles_to_us(counter.cycles), 2),
+            "nbytes": counter.nbytes,
+        })
+    rows.sort(key=lambda r: (r["primitive"], -r["cycles"], r["event"]))
+    return rows
+
+
+def provider_rows(tracer) -> list[dict]:
+    """One row per registered unit kind with its summed counters."""
+    rows = []
+    for kind, totals in tracer.provider_counters().items():
+        detail = {k: v for k, v in totals.items() if k != "instances"}
+        rows.append({"unit": kind, "instances": totals["instances"],
+                     "counters": detail})
+    return rows
+
+
+def _format_events(rows) -> list[str]:
+    lines = [f"{'primitive':<14}{'event':<20}{'count':>10}"
+             f"{'cycles':>14}{'us':>10}{'bytes':>10}"]
+    lines.append("-" * len(lines[0]))
+    last = None
+    for row in rows:
+        primitive = row["primitive"] if row["primitive"] != last else ""
+        last = row["primitive"]
+        lines.append(
+            f"{primitive:<14}{row['event']:<20}{row['count']:>10}"
+            f"{row['cycles']:>14.1f}{row['us']:>10.2f}{row['nbytes']:>10}")
+    return lines
+
+
+def _format_providers(rows) -> list[str]:
+    lines = [f"{'unit':<14}{'instances':>10}  counters"]
+    lines.append("-" * 64)
+    for row in rows:
+        counters = ", ".join(f"{k}={v}" for k, v in row["counters"].items())
+        lines.append(f"{row['unit']:<14}{row['instances']:>10}  {counters}")
+    return lines
+
+
+def format_summary(tracer) -> str:
+    """The full two-table text report for one traced run."""
+    lines = [f"events emitted: {tracer.events_emitted} "
+             f"({len(tracer.counters)} distinct types, "
+             f"{len(tracer.ring)} in ring)"]
+    events = event_rows(tracer)
+    if events:
+        lines.append("")
+        lines.append("== event totals (per primitive) ==")
+        lines.extend(_format_events(events))
+    providers = provider_rows(tracer)
+    if providers:
+        lines.append("")
+        lines.append("== unit counters (summed per kind) ==")
+        lines.extend(_format_providers(providers))
+    if not events and not providers:
+        lines.append("(no events recorded — was tracing enabled?)")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The global tracer: typed events, counters, JSONL sink, ring buffer.
+
+Zero-cost-when-disabled doctrine
+--------------------------------
+
+Instrumentation hooks throughout the model follow one pattern::
+
+    from repro.trace import tracer as _trace
+    ...
+    if _trace.TRACE_ENABLED:
+        _trace.emit("remote_read", t=now, pe=self.my_pe,
+                    target=pe, offset=offset, cycles=cycles)
+
+``TRACE_ENABLED`` is a module-level boolean read through the module
+object, so toggling it is visible everywhere instantly, and the
+disabled fast branch costs one attribute load and one falsy test —
+nothing is formatted, allocated, or looked up.  Hooks are placed on
+*primitive-frequency* paths (one event per shell operation, write-
+buffer entry, scheduler resumption, ...), never inside the batched
+per-access fast loops of PR 1, so the fast paths stay bit-identical
+and within their benchmark budgets when tracing is off.
+
+With tracing enabled, every event
+
+* lands in an in-memory **ring buffer** (bounded, oldest dropped);
+* is appended to the **JSONL sink** if one is attached (one JSON
+  object per line, schema per :mod:`repro.trace.events`);
+* bumps the event-type **counter** (count, summed cycles, summed
+  bytes), which is what ``repro counters`` tabulates.
+
+Model units constructed while tracing is enabled also register
+themselves as **counter providers** (their ``counters()`` dict is
+harvested into the per-primitive summary), so hardware-level counters
+— cache hits, DRAM row misses, write-buffer merges — appear alongside
+the event totals without any per-access event cost.
+
+Usage::
+
+    from repro.trace import tracer as trace
+
+    with trace.tracing(sink=open("run.jsonl", "w")) as t:
+        run_experiment()
+    print(t.counters["remote_read"].count)
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+
+from repro.trace.events import EVENT_TYPES
+
+__all__ = ["Counter", "Tracer", "TRACE_ENABLED", "TRACER",
+           "emit", "enable", "disable", "tracing"]
+
+#: The global on/off switch.  Read via the module object
+#: (``_trace.TRACE_ENABLED``) so assignment here is seen everywhere.
+TRACE_ENABLED = False
+
+#: Default ring-buffer capacity (events); old events are dropped first.
+DEFAULT_RING_CAPACITY = 1 << 18
+
+
+class Counter:
+    """Aggregate totals for one event type."""
+
+    __slots__ = ("count", "cycles", "nbytes")
+
+    def __init__(self):
+        self.count = 0
+        self.cycles = 0.0
+        self.nbytes = 0
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "cycles": self.cycles,
+                "nbytes": self.nbytes}
+
+
+class Tracer:
+    """Event sink, ring buffer, counter registry, provider registry."""
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY):
+        self.ring: deque = deque(maxlen=ring_capacity)
+        self.counters: dict[str, Counter] = {}
+        self.events_emitted = 0
+        self._sink = None
+        self._owns_sink = False
+        # kind -> [unit, ...]; strong references so counters stay
+        # readable after the experiment discards its machines.
+        self._providers: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, ev: str, t: float | None = None, pe: int | None = None,
+             **fields) -> None:
+        """Record one event.  ``ev`` must be a registered event type."""
+        if ev not in EVENT_TYPES:
+            raise KeyError(f"unregistered event type {ev!r}; add it to "
+                           "repro.trace.events.EVENT_TYPES")
+        record = {"ev": ev, "t": t, "pe": pe}
+        record.update(fields)
+        self.events_emitted += 1
+        self.ring.append(record)
+        counter = self.counters.get(ev)
+        if counter is None:
+            counter = self.counters[ev] = Counter()
+        counter.count += 1
+        cycles = fields.get("cycles")
+        if cycles is not None:
+            counter.cycles += cycles
+        nbytes = fields.get("nbytes")
+        if nbytes is not None:
+            counter.nbytes += nbytes
+        sink = self._sink
+        if sink is not None:
+            sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------
+    # Counter providers (hardware-level counters, harvested lazily)
+    # ------------------------------------------------------------------
+
+    def register_provider(self, kind: str, unit) -> None:
+        """Register a model unit whose ``counters()`` dict should be
+        folded into the per-primitive summary."""
+        self._providers.setdefault(kind, []).append(unit)
+
+    def provider_counters(self) -> dict[str, dict]:
+        """Per-kind sums of every registered provider's counters."""
+        merged: dict[str, dict] = {}
+        for kind, units in sorted(self._providers.items()):
+            totals: dict = {}
+            for unit in units:
+                for key, value in unit.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            totals["instances"] = len(units)
+            merged[kind] = totals
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self, ring_capacity: int | None = None) -> None:
+        """Drop all events, counters, and providers (sink untouched)."""
+        if ring_capacity is None:
+            ring_capacity = self.ring.maxlen
+        self.ring = deque(maxlen=ring_capacity)
+        self.counters = {}
+        self.events_emitted = 0
+        self._providers = {}
+
+    def attach_sink(self, sink, owns: bool = False) -> None:
+        self._sink = sink
+        self._owns_sink = owns
+
+    def close_sink(self) -> None:
+        sink, owns = self._sink, self._owns_sink
+        self._sink = None
+        self._owns_sink = False
+        if sink is not None:
+            sink.flush()
+            if owns:
+                sink.close()
+
+
+#: The process-global tracer all instrumentation hooks write to.
+TRACER = Tracer()
+
+
+def emit(ev: str, t: float | None = None, pe: int | None = None,
+         **fields) -> None:
+    """Module-level :meth:`Tracer.emit` on the global tracer."""
+    TRACER.emit(ev, t=t, pe=pe, **fields)
+
+
+def enable(sink=None, ring_capacity: int | None = None,
+           reset: bool = True) -> Tracer:
+    """Turn tracing on.
+
+    ``sink`` is a writable text file (or path string) that receives one
+    JSON object per event; ``ring_capacity`` bounds the in-memory ring.
+    By default the global tracer is reset so counters and the ring
+    describe exactly the run that follows.
+    """
+    global TRACE_ENABLED
+    if reset:
+        TRACER.reset(ring_capacity)
+    elif ring_capacity is not None and ring_capacity != TRACER.ring.maxlen:
+        TRACER.ring = deque(TRACER.ring, maxlen=ring_capacity)
+    if isinstance(sink, str):
+        TRACER.attach_sink(open(sink, "w"), owns=True)
+    elif sink is not None:
+        TRACER.attach_sink(sink)
+    TRACE_ENABLED = True
+    return TRACER
+
+
+def disable() -> Tracer:
+    """Turn tracing off and detach (flushing, closing if owned) any
+    sink.  Ring and counters survive for post-run inspection."""
+    global TRACE_ENABLED
+    TRACE_ENABLED = False
+    TRACER.close_sink()
+    return TRACER
+
+
+@contextmanager
+def tracing(sink=None, ring_capacity: int | None = None,
+            reset: bool = True):
+    """Context manager: tracing on inside the block, off after."""
+    tracer = enable(sink=sink, ring_capacity=ring_capacity, reset=reset)
+    try:
+        yield tracer
+    finally:
+        disable()

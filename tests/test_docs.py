@@ -9,7 +9,8 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 
 DOCS = ["README.md", "DESIGN.md", "docs/timing_model.md",
-        "docs/api_guide.md", "docs/paper_map.md"]
+        "docs/api_guide.md", "docs/paper_map.md",
+        "docs/observability.md"]
 
 #: Path-like references worth checking: backticked repo-relative paths.
 _PATH_RE = re.compile(
@@ -64,3 +65,100 @@ def test_experiment_index_in_design_covers_f_and_t_ids():
                    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
                    "T9", "T10", "A1", "A2", "A3", "A4"]:
         assert f"| {exp_id} " in text, exp_id
+
+
+# ------------------------------------------------------- CLI consistency
+
+#: ``repro <subcommand>`` / ``python -m repro <subcommand>`` mentions.
+#: Restricted to code spans and fenced blocks so prose like "the repro
+#: is calibrated" never false-positives.
+_CLI_RE = re.compile(r"(?:python -m )?\brepro ([a-z][a-z0-9]*)\b")
+
+
+def _code_snippets(text: str):
+    """Every fenced code block and inline code span in a document."""
+    yield from re.findall(r"```[a-z]*\n(.*?)```", text, re.DOTALL)
+    yield from re.findall(r"`([^`\n]+)`", text)
+
+
+def _cli_subcommands() -> set:
+    from repro.cli import build_parser
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        if hasattr(action, "choices"):
+            return set(action.choices)
+    raise AssertionError("no subparsers found on the repro parser")
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_every_repro_subcommand_mentioned_in_docs_exists(doc):
+    commands = _cli_subcommands()
+    text = (ROOT / doc).read_text()
+    unknown = []
+    for snippet in _code_snippets(text):
+        for word in _CLI_RE.findall(snippet):
+            if word not in commands:
+                unknown.append(word)
+    assert not unknown, (
+        f"{doc} mentions repro subcommands that don't exist: "
+        f"{sorted(set(unknown))} (have: {sorted(commands)})")
+
+
+def test_docs_mention_the_new_observability_commands():
+    readme = (ROOT / "README.md").read_text()
+    for command in ("repro trace", "repro counters"):
+        assert command in readme, command
+
+
+# ------------------------------------------- event-catalog consistency
+
+#: First cell of each event-catalog table row: | `event_name` | ...
+_EVENT_ROW_RE = re.compile(r"^\| `([a-z_]+)` \|", re.MULTILINE)
+
+
+def test_observability_event_catalog_matches_registry():
+    from repro.trace.events import EVENT_TYPES
+
+    text = (ROOT / "docs/observability.md").read_text()
+    section = text.split("## Event catalog")[1].split("\n## ")[0]
+    documented = set(_EVENT_ROW_RE.findall(section))
+    registered = set(EVENT_TYPES)
+    assert documented == registered, (
+        f"undocumented events: {sorted(registered - documented)}; "
+        f"documented but unregistered: {sorted(documented - registered)}")
+
+
+def test_observability_counter_catalog_matches_providers():
+    """Every unit kind documented in the counter catalog registers
+    exactly the documented counter names."""
+    from repro.trace import tracer as trace
+    from repro.params import t3d_machine_params
+    from repro.machine.machine import Machine
+
+    text = (ROOT / "docs/observability.md").read_text()
+    section = text.split("## Counter catalog")[1].split("\n## ")[0]
+    documented = {}
+    for line in section.splitlines():
+        m = re.match(r"^\| `([a-z_]+)` \| (.+) \|$", line)
+        if m:
+            documented[m.group(1)] = set(
+                re.findall(r"`([a-z_.]+)`", m.group(2)))
+
+    trace.disable()
+    trace.TRACER.reset()
+    trace.enable()
+    try:
+        Machine(t3d_machine_params((2, 1, 1)))
+        harvested = trace.TRACER.provider_counters()
+    finally:
+        trace.disable()
+        trace.TRACER.reset()
+
+    assert set(documented) == set(harvested), (
+        f"catalog kinds {sorted(documented)} != "
+        f"registered kinds {sorted(harvested)}")
+    for kind, counters in harvested.items():
+        actual = set(counters) - {"instances"}
+        assert documented[kind] == actual, (
+            f"{kind}: documented {sorted(documented[kind])}, "
+            f"actual {sorted(actual)}")

@@ -1,0 +1,204 @@
+"""Unit tests for the tracer core: ring, counters, sinks, schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import EVENT_TYPES, validate_record
+from repro.trace import tracer as trace
+from repro.trace.chrome import to_chrome, write_chrome
+from repro.trace.summary import event_rows, format_summary
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with tracing off and an empty ring."""
+    trace.disable()
+    trace.TRACER.reset()
+    yield
+    trace.disable()
+    trace.TRACER.reset()
+
+
+def test_disabled_by_default():
+    assert trace.TRACE_ENABLED is False
+
+
+def test_enable_disable_flips_module_flag():
+    trace.enable()
+    assert trace.TRACE_ENABLED is True
+    trace.disable()
+    assert trace.TRACE_ENABLED is False
+
+
+def test_emit_lands_in_ring_and_counters():
+    trace.enable()
+    trace.emit("ctx_switch", t=10.0, pe=3)
+    trace.emit("remote_read", t=20.0, pe=0, target=1, offset=64,
+               cycles=95.0)
+    tracer = trace.TRACER
+    assert tracer.events_emitted == 2
+    assert len(tracer.ring) == 2
+    assert tracer.counters["ctx_switch"].count == 1
+    assert tracer.counters["remote_read"].cycles == 95.0
+
+
+def test_emit_rejects_unregistered_event():
+    trace.enable()
+    with pytest.raises(KeyError):
+        trace.emit("no_such_event", t=0.0, pe=0)
+
+
+def test_counter_sums_cycles_and_bytes():
+    trace.enable()
+    trace.emit("remote_ack", t=1.0, pe=0, target=1, nbytes=8,
+               ack_time=50.0)
+    trace.emit("remote_ack", t=2.0, pe=0, target=1, nbytes=24,
+               ack_time=60.0)
+    counter = trace.TRACER.counters["remote_ack"]
+    assert counter.count == 2
+    assert counter.nbytes == 32
+
+
+def test_ring_capacity_bounds_memory():
+    trace.enable(ring_capacity=4)
+    for i in range(10):
+        trace.emit("ctx_switch", t=float(i), pe=0)
+    tracer = trace.TRACER
+    assert len(tracer.ring) == 4
+    assert tracer.events_emitted == 10        # counters see everything
+    assert tracer.ring[0]["t"] == 6.0         # oldest dropped first
+
+
+def test_jsonl_sink_receives_schema_valid_lines():
+    sink = io.StringIO()
+    trace.enable(sink=sink)
+    trace.emit("wb_push", t=5.0, pe=1, line=128, stall=0.0, retire=9.0)
+    trace.emit("annex_update", pe=1, index=3, target=7, mode="uncached")
+    lines = sink.getvalue().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        validate_record(json.loads(line))
+    assert json.loads(lines[1])["t"] is None  # untimed event
+
+
+def test_path_sink_is_opened_and_closed(tmp_path):
+    path = tmp_path / "run.jsonl"
+    trace.enable(sink=str(path))
+    trace.emit("ctx_switch", t=0.0, pe=0)
+    trace.disable()                            # flush + close owned sink
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    assert records == [{"ev": "ctx_switch", "t": 0.0, "pe": 0}]
+
+
+def test_tracing_context_manager_restores_disabled():
+    with trace.tracing() as tracer:
+        assert trace.TRACE_ENABLED is True
+        trace.emit("ctx_switch", t=0.0, pe=0)
+    assert trace.TRACE_ENABLED is False
+    assert tracer.events_emitted == 1
+
+
+def test_enable_resets_by_default():
+    trace.enable()
+    trace.emit("ctx_switch", t=0.0, pe=0)
+    trace.enable()                             # fresh run
+    assert trace.TRACER.events_emitted == 0
+    assert not trace.TRACER.counters
+
+
+def test_provider_counters_summed_per_kind():
+    class FakeUnit:
+        def __init__(self, hits):
+            self.hits = hits
+
+        def counters(self):
+            return {"hits": self.hits}
+
+    trace.enable()
+    trace.TRACER.register_provider("cache", FakeUnit(3))
+    trace.TRACER.register_provider("cache", FakeUnit(4))
+    merged = trace.TRACER.provider_counters()
+    assert merged["cache"] == {"hits": 7, "instances": 2}
+
+
+def test_units_register_as_providers_only_when_enabled():
+    from repro.params import t3d_machine_params
+    from repro.machine.machine import Machine
+
+    Machine(t3d_machine_params((2, 1, 1)))     # tracing off: no providers
+    assert not trace.TRACER._providers
+    trace.enable()
+    Machine(t3d_machine_params((2, 1, 1)))
+    kinds = set(trace.TRACER._providers)
+    assert {"cache", "dram", "tlb", "write_buffer", "remote", "prefetch",
+            "blt", "annex", "msgqueue", "barrier"} <= kinds
+
+
+# ---------------------------------------------------------------- schema
+
+def test_validate_rejects_unknown_event():
+    with pytest.raises(ValueError, match="unregistered event"):
+        validate_record({"ev": "bogus", "t": 0.0, "pe": 0})
+
+
+def test_validate_rejects_missing_required_field():
+    with pytest.raises(ValueError, match="missing field"):
+        validate_record({"ev": "remote_read", "t": 0.0, "pe": 0,
+                         "target": 1, "offset": 0})   # no cycles
+
+
+def test_validate_rejects_extra_field():
+    with pytest.raises(ValueError, match="unregistered fields"):
+        validate_record({"ev": "ctx_switch", "t": 0.0, "pe": 0,
+                         "surprise": 1})
+
+
+def test_validate_rejects_wrong_type():
+    with pytest.raises(ValueError, match="expected"):
+        validate_record({"ev": "wb_merge", "t": 0.0, "pe": 0,
+                         "line": "not-an-int"})
+
+
+def test_every_spec_names_its_primitive():
+    for spec in EVENT_TYPES.values():
+        assert spec.primitive, spec.name
+        assert spec.doc, spec.name
+
+
+# ---------------------------------------------------------------- export
+
+def test_chrome_export_spans_and_instants():
+    trace.enable()
+    trace.emit("blt_stream", t=100.0, pe=2, direction="read",
+               nbytes=4096, completion=500.0)
+    trace.emit("ctx_switch", t=50.0, pe=1)
+    doc = to_chrome(trace.TRACER.ring)
+    events = [e for e in doc["traceEvents"] if e.get("ph") in ("X", "i")]
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["tid"] == 2
+    assert span["dur"] == pytest.approx((500.0 - 100.0) / 150.0)
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["tid"] == 1
+
+
+def test_chrome_export_skips_untimed_events(tmp_path):
+    trace.enable()
+    trace.emit("annex_update", pe=0, index=0, target=1, mode="uncached")
+    trace.emit("ctx_switch", t=0.0, pe=0)
+    out = tmp_path / "trace.json"
+    n = write_chrome(trace.TRACER.ring, str(out))
+    assert n == 1
+    json.loads(out.read_text())                # well-formed file
+
+
+def test_summary_tabulates_by_primitive():
+    trace.enable()
+    trace.emit("remote_read", t=0.0, pe=0, target=1, offset=0,
+               cycles=95.0)
+    trace.emit("barrier_start", t=0.0, pe=0, epoch=1)
+    rows = event_rows(trace.TRACER)
+    assert {r["primitive"] for r in rows} == {"remote", "barrier"}
+    text = format_summary(trace.TRACER)
+    assert "remote_read" in text and "barrier_start" in text
