@@ -1,18 +1,34 @@
 PYTHON ?= python3
 
-.PHONY: test bench bench-quick docs-check experiments examples \
-	quickcheck clean
+# Sweep-engine knobs for `make bench` (and anything else that honors
+# them): REPRO_JOBS fans experiment shards across processes,
+# REPRO_CACHE=0 disables the persistent result cache.
+REPRO_JOBS ?= 1
+BASE ?= BENCH_PR2.json
+
+.PHONY: test bench bench-compare bench-quick docs-check experiments \
+	examples quickcheck clean
 
 test:
 	$(PYTHON) -m pytest tests/
 
 # Snapshot to a fresh file per PR so the perf trajectory accumulates
 # (BENCH_PR1.json stays as the fast-path baseline to diff against).
+# The summary comparison against $(BASE) is warn-only here because a
+# warm-cache or parallel run is a different measurement than the
+# committed serial baseline; `make bench-compare` is the strict gate.
 bench:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
-		--benchmark-json=.bench_raw.json
+	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
 	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
-		BENCH_PR2.json
+		BENCH_PR5.json --meta .bench_meta.json
+	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
+		BENCH_PR5.json --warn-only
+
+# Strict perf gate: exit nonzero on >10% mean regression vs $(BASE).
+bench-compare:
+	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
+		BENCH_PR5.json
 
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q

@@ -3,11 +3,40 @@
 Every benchmark produces a paper-vs-measured report; reports are
 collected and printed in the terminal summary so they survive pytest's
 output capture (``pytest benchmarks/ --benchmark-only`` shows them).
+
+The session also drops ``.bench_meta.json`` next to the rootdir: the
+resolved sweep-engine configuration (jobs, cores, cache hit/miss
+totals) for the run, which ``tools/bench_snapshot.py --meta`` folds
+into the committed snapshot so a number can always be traced back to
+how it was produced.
 """
+
+import json
+import os
 
 import pytest
 
 _REPORTS: list = []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Record how the sweep engine ran (see module docstring)."""
+    try:
+        from repro.parallel import cache_stats, resolve_jobs
+        from repro.parallel.cache import cache_enabled
+    except ImportError:       # benchmarks run without src on the path
+        return
+    meta = {
+        "schema": "bench-meta-v1",
+        "jobs": resolve_jobs(),
+        "cpu_count": os.cpu_count(),
+        "cache_enabled": cache_enabled(),
+        "cache": cache_stats(),
+    }
+    path = os.path.join(str(session.config.rootpath), ".bench_meta.json")
+    with open(path, "w") as handle:
+        json.dump(meta, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture

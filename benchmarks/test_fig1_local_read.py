@@ -11,21 +11,24 @@ TLB effects on the T3D — and their presence on the workstation.
 import paperdata as paper
 import pytest
 
-from repro.microbench import probes
 from repro.microbench.analyze import analyze_read_curves
 from repro.microbench.harness import default_sizes
 from repro.microbench.report import format_comparison, format_curves
-from repro.node.memsys import t3d_memory_system, workstation_memory_system
+from repro.parallel import SweepExecutor
+from repro.parallel.tasks import merge_curves, stride_probe_tasks
 
 KB = 1024
 
 
 def run_fig1():
-    t3d_curves = probes.local_read_probe(
-        t3d_memory_system(), sizes=default_sizes(hi=1024 * KB))
-    ws_curves = probes.local_read_probe(
-        workstation_memory_system(), sizes=default_sizes(hi=2048 * KB),
-        min_footprint=2048 * KB)
+    t3d_tasks = stride_probe_tasks(
+        "local_read", system="t3d", sizes=default_sizes(hi=1024 * KB))
+    ws_tasks = stride_probe_tasks(
+        "local_read", system="workstation",
+        sizes=default_sizes(hi=2048 * KB), min_footprint=2048 * KB)
+    results = SweepExecutor().run_tasks(t3d_tasks + ws_tasks)
+    t3d_curves = merge_curves(results[:len(t3d_tasks)])
+    ws_curves = merge_curves(results[len(t3d_tasks):])
     return t3d_curves, ws_curves
 
 

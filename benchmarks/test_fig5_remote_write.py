@@ -7,16 +7,22 @@ including the remote off-page sensitivity.
 import paperdata as paper
 import pytest
 
-from repro.microbench import probes
 from repro.microbench.report import format_comparison, format_curves
+from repro.parallel import SweepExecutor
+from repro.parallel.tasks import merge_curves, stride_probe_tasks
 
 KB = 1024
 SIZES = [16 * KB, 64 * KB, 256 * KB]
 
 
 def run_fig5():
-    return (probes.remote_write_probe(mechanism="blocking", sizes=SIZES),
-            probes.remote_write_probe(mechanism="splitc", sizes=SIZES))
+    tasks = (stride_probe_tasks("remote_write", mechanism="blocking",
+                                sizes=SIZES)
+             + stride_probe_tasks("remote_write", mechanism="splitc",
+                                  sizes=SIZES))
+    results = SweepExecutor().run_tasks(tasks)
+    return (merge_curves(results[:len(SIZES)]),
+            merge_curves(results[len(SIZES):]))
 
 
 def test_fig5_remote_write(once, report):

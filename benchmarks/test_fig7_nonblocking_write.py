@@ -9,16 +9,22 @@ put at ~300 ns / 45 cycles.
 import paperdata as paper
 import pytest
 
-from repro.microbench import probes
 from repro.microbench.report import format_comparison, format_curves
+from repro.parallel import SweepExecutor
+from repro.parallel.tasks import merge_curves, stride_probe_tasks
 
 KB = 1024
 SIZES = [16 * KB, 64 * KB, 256 * KB]
 
 
 def run_fig7():
-    return (probes.nonblocking_write_probe(mechanism="store", sizes=SIZES),
-            probes.nonblocking_write_probe(mechanism="splitc", sizes=SIZES))
+    tasks = (stride_probe_tasks("nonblocking_write", mechanism="store",
+                                sizes=SIZES)
+             + stride_probe_tasks("nonblocking_write", mechanism="splitc",
+                                  sizes=SIZES))
+    results = SweepExecutor().run_tasks(tasks)
+    return (merge_curves(results[:len(SIZES)]),
+            merge_curves(results[len(SIZES):]))
 
 
 def test_fig7_nonblocking_write(once, report):

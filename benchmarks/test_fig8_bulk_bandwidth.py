@@ -16,6 +16,8 @@ import pytest
 
 from repro.microbench import probes
 from repro.microbench.report import format_bandwidths
+from repro.parallel import SweepExecutor
+from repro.parallel.tasks import BulkBandwidthTask, merge_points
 
 KB = 1024
 READ_SIZES = [8, 32, 64, 128, 512, 2 * KB, 8 * KB, 32 * KB, 128 * KB,
@@ -24,8 +26,13 @@ WRITE_SIZES = [32, 128, 512, 2 * KB, 8 * KB, 32 * KB, 128 * KB, 512 * KB]
 
 
 def run_fig8():
-    return (probes.bulk_read_bandwidth_probe(READ_SIZES),
-            probes.bulk_write_bandwidth_probe(WRITE_SIZES))
+    read_tasks = [BulkBandwidthTask("read", m, tuple(READ_SIZES))
+                  for m in probes.READ_MECHANISMS]
+    write_tasks = [BulkBandwidthTask("write", m, tuple(WRITE_SIZES))
+                   for m in probes.WRITE_MECHANISMS]
+    results = SweepExecutor().run_tasks(read_tasks + write_tasks)
+    return (merge_points(results[:len(read_tasks)]),
+            merge_points(results[len(read_tasks):]))
 
 
 def test_fig8_bulk_bandwidth(once, report):

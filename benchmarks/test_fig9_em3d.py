@@ -15,7 +15,9 @@ run in seconds); the *shape* claims checked are Figure 9's:
 import paperdata as paper
 import pytest
 
-from repro.apps.em3d import VERSIONS, sweep
+from repro.apps.em3d import VERSIONS
+from repro.parallel import SweepExecutor
+from repro.parallel.tasks import em3d_sweep_tasks
 
 NODES_PER_PE = 200
 DEGREE = 10
@@ -24,8 +26,9 @@ SHAPE = (2, 2, 1)
 
 
 def run_fig9():
-    points = sweep(fractions=FRACTIONS, nodes_per_pe=NODES_PER_PE,
-                   degree=DEGREE, shape=SHAPE)
+    tasks = em3d_sweep_tasks(FRACTIONS, VERSIONS, NODES_PER_PE, DEGREE,
+                             shape=SHAPE)
+    points = SweepExecutor().run_tasks(tasks)
     return {(p.version, p.requested_fraction): p.us_per_edge
             for p in points}
 

@@ -163,6 +163,10 @@ def _setup(machine, graph: Em3dGraph, version: str,
 #: compute phase always runs the reference per-access loop.
 USE_FAST_COMPUTE = True
 
+#: Escape hatch for the ghost-fill fast paths below: when False the
+#: fill loops always go through the generic Split-C runtime calls.
+USE_FAST_FILL = True
+
 
 def _compute_phase(sc, graph: Em3dGraph, layout: Layout, direction: str,
                    optimized: bool, simple: bool):
@@ -532,21 +536,55 @@ def _compute_phase_local_fast(ctx, n: int, degree: int, adj_base: int,
 
 
 def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
-    """Fill ghosts with blocking reads (bundle/unroll) or gets."""
+    """Fill ghosts with blocking reads (bundle/unroll) or gets.
+
+    The blocking-read loop has a fast path with ``read_from``'s remote
+    branch inlined: the same Annex set-up, uncached read, and extra-
+    cycle charges in the same order — only the per-element Python call
+    chain (``read_from`` -> ``_setup_annex`` -> ``charge`` x2 ->
+    ``_record``) is flattened and its attribute lookups hoisted out of
+    the loop.  Sources in a ghost plan are always remote and the read
+    mechanism must be the adopted uncached one; the cached-read
+    ablation and span-traced runs take the generic path.
+    """
+    ctx = sc.ctx
     plan = graph.e_plan if direction == "e" else graph.h_plan
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
     slots = plan.ghost_slot[me]
-    local_write = sc.ctx.local_write
-    start_clock = sc.ctx.clock if _trace.TRACE_ENABLED else 0.0
+    local_write = ctx.local_write
+    start_clock = ctx.clock if _trace.TRACE_ENABLED else 0.0
     filled = 0
+    fast = (USE_FAST_FILL and not use_get and sc.trace is None
+            and sc.plan.read_mechanism != "cached")
+    if fast:
+        annex = ctx.node.annex
+        annex_setup = sc.annex_policy.setup
+        uncached_read = ctx.node.remote.uncached_read
+        read_extra = ctx.node.params.shell.remote.splitc_read_extra_cycles
+        record_stat = sc.stats.record
+        rec = None
     for src in sorted(plan.needed[me]):
         for idx in plan.needed[me][src]:
             slot = slots[(src, idx)]
             if use_get:
                 sc.get_from(src, vals + idx * VALUE_BYTES,
                             ghosts + slot * VALUE_BYTES)
+            elif fast:
+                before = ctx.clock
+                _index, cyc = annex_setup(annex, src)
+                clock = before + cyc
+                cycles, value = uncached_read(clock, src,
+                                              vals + idx * VALUE_BYTES)
+                ctx.clock = clock + cycles + read_extra
+                if rec is None:
+                    record_stat("read (remote)", ctx.clock - before)
+                    rec = sc.stats.ops["read (remote)"]
+                else:
+                    rec.count += 1
+                    rec.cycles += ctx.clock - before
+                local_write(ghosts + slot * VALUE_BYTES, value)
             else:
                 value = sc.read_from(src, vals + idx * VALUE_BYTES)
                 local_write(ghosts + slot * VALUE_BYTES, value)
@@ -561,15 +599,33 @@ def _ghost_fill_reads(sc, graph, layout, direction: str, use_get: bool):
 
 
 def _ghost_fill_puts(sc, graph, layout, direction: str):
-    """Owners push their values into consumers' ghost slots."""
+    """Owners push their values into consumers' ghost slots.
+
+    Fast path: ``put_to``'s remote branch inlined — identical Annex
+    set-up, address composition, remote store, and extra-cycle charges
+    in the same order, with the per-element call chain flattened and
+    attribute lookups hoisted (consumers in the loop are never the
+    owner, so the local branch cannot be taken).  Span-traced runs use
+    the generic path.
+    """
+    ctx = sc.ctx
     plan = graph.e_plan if direction == "e" else graph.h_plan
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
-    local_read = sc.ctx.local_read
+    local_read = ctx.local_read
     put_to = sc.put_to
-    start_clock = sc.ctx.clock if _trace.TRACE_ENABLED else 0.0
+    start_clock = ctx.clock if _trace.TRACE_ENABLED else 0.0
     pushed = 0
+    fast = USE_FAST_FILL and sc.trace is None
+    if fast:
+        annex = ctx.node.annex
+        annex_setup = sc.annex_policy.setup
+        compose = annex.compose_address
+        remote_store = ctx.node.remote.store
+        put_extra = ctx.node.params.shell.remote.splitc_put_extra_cycles
+        record_stat = sc.stats.record
+        rec = None
     for consumer in range(graph.num_pes):
         if consumer == me:
             continue
@@ -580,7 +636,22 @@ def _ghost_fill_puts(sc, graph, layout, direction: str):
         for idx in idxs:
             slot = slots[(me, idx)]
             value = local_read(vals + idx * VALUE_BYTES)
-            put_to(consumer, ghosts + slot * VALUE_BYTES, value)
+            addr = ghosts + slot * VALUE_BYTES
+            if fast:
+                before = ctx.clock
+                index, cyc = annex_setup(annex, consumer)
+                clock = before + cyc
+                cyc = remote_store(clock, consumer, addr, value,
+                                   compose(index, addr))
+                ctx.clock = clock + cyc + put_extra
+                if rec is None:
+                    record_stat("put (issue)", ctx.clock - before)
+                    rec = sc.stats.ops["put (issue)"]
+                else:
+                    rec.count += 1
+                    rec.cycles += ctx.clock - before
+            else:
+                put_to(consumer, addr, value)
             pushed += 1
     # Completion is deferred to the all_store_sync that follows.
     if _trace.TRACE_ENABLED:

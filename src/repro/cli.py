@@ -26,14 +26,17 @@ __all__ = ["build_parser", "main"]
 
 
 def _cmd_experiments(args) -> int:
+    use_cache = False if args.no_cache else None
     if args.json:
         import json
 
         from repro.reporting.experiments import generate_json
-        text = json.dumps(generate_json(quick=args.quick), indent=2)
+        text = json.dumps(generate_json(quick=args.quick, jobs=args.jobs,
+                                        use_cache=use_cache), indent=2)
     else:
         from repro.reporting.experiments import generate_markdown
-        text = generate_markdown(quick=args.quick)
+        text = generate_markdown(quick=args.quick, jobs=args.jobs,
+                                 use_cache=use_cache)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -175,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON instead of markdown")
     p.add_argument("-o", "--output", default=None,
                    help="write to a file instead of stdout")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="experiment fan-out processes (default: "
+                        "$REPRO_JOBS, else 1 = serial; 0 = all cores)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the persistent result cache and "
+                        "recompute every experiment")
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("headlines", help="print headline latencies")

@@ -38,8 +38,10 @@ from dataclasses import dataclass, field
 
 from repro.params import CYCLE_NS
 
-__all__ = ["LatencyCurves", "ProbePoint", "clear_probe_memo",
-           "default_sizes", "default_strides", "run_stride_probe"]
+__all__ = ["LatencyCurves", "PointSpec", "ProbePoint",
+           "clear_probe_memo", "default_sizes", "default_strides",
+           "run_stride_point", "run_stride_probe",
+           "stride_point_specs"]
 
 KB = 1024
 
@@ -111,6 +113,74 @@ def default_strides(size: int, lo: int = 8) -> list[int]:
     return strides
 
 
+@dataclass(frozen=True)
+class PointSpec:
+    """One (size, stride) stimulus, fully resolved: ``naccesses`` is
+    the capped per-pass access count.  Picklable, hashable — the unit
+    the parallel sweep engine shards and the point memo keys."""
+
+    size: int
+    stride: int
+    naccesses: int
+
+
+def stride_point_specs(sizes=None, strides_fn=None, *,
+                       max_accesses: int = 4096,
+                       min_footprint: int = 0) -> list[PointSpec]:
+    """The sawtooth sweep as an explicit, size-major point list.
+
+    This is the whole stimulus of :func:`run_stride_probe`, reified:
+    each spec is independent of every other (the probe cold-starts
+    state per point), so callers may run the list in any partition —
+    serially, sharded across processes, or replayed from a cache — and
+    concatenate results in list order to reproduce the serial sweep.
+    """
+    sizes = sizes if sizes is not None else default_sizes()
+    strides_fn = strides_fn if strides_fn is not None else default_strides
+    specs = []
+    for size in sizes:
+        for stride in strides_fn(size):
+            naccesses = -(-size // stride)
+            cap = max(max_accesses, -(-min_footprint // stride))
+            if naccesses > cap:
+                naccesses = cap
+            specs.append(PointSpec(size=size, stride=stride,
+                                   naccesses=naccesses))
+    return specs
+
+
+def run_stride_point(access_fn, spec: PointSpec, *, base_addr: int = 0,
+                     warmup_passes: int = 1, measure_passes: int = 2,
+                     reset_fn=None, sweep_fn=None) -> ProbePoint:
+    """Measure one point: cold-start, warm passes, measured passes.
+
+    ``sweep_fn`` (see :func:`run_stride_probe`) runs the point batched;
+    otherwise the reference per-access loop runs.
+    """
+    if reset_fn is not None:
+        reset_fn()
+    if sweep_fn is not None:
+        total, count = sweep_fn(base_addr, spec.stride, spec.naccesses,
+                                warmup_passes, measure_passes)
+    else:
+        addrs = range(base_addr, base_addr + spec.naccesses * spec.stride,
+                      spec.stride)
+        now = 0.0
+        for _ in range(warmup_passes):
+            for addr in addrs:
+                now += access_fn(now, addr)
+        total = 0.0
+        count = 0
+        for _ in range(measure_passes):
+            for addr in addrs:
+                cycles = access_fn(now, addr)
+                total += cycles
+                now += cycles
+                count += 1
+    return ProbePoint(size=spec.size, stride=spec.stride,
+                      avg_cycles=total / count, accesses=count)
+
+
 def run_stride_probe(access_fn, sizes=None, strides_fn=None, *,
                      base_addr: int = 0, warmup_passes: int = 1,
                      measure_passes: int = 2, max_accesses: int = 4096,
@@ -141,48 +211,26 @@ def run_stride_probe(access_fn, sizes=None, strides_fn=None, *,
     skip the simulation entirely, so post-probe model state is only
     meaningful when the caller resets it anyway.
     """
-    sizes = sizes if sizes is not None else default_sizes()
-    strides_fn = strides_fn if strides_fn is not None else default_strides
+    specs = stride_point_specs(sizes, strides_fn,
+                               max_accesses=max_accesses,
+                               min_footprint=min_footprint)
     memo_enabled = memo_key is not None and reset_fn is not None
     curves = LatencyCurves()
-    for size in sizes:
-        for stride in strides_fn(size):
-            naccesses = -(-size // stride)
-            cap = max(max_accesses, -(-min_footprint // stride))
-            if naccesses > cap:
-                naccesses = cap
-            if memo_enabled:
-                key = (memo_key, base_addr, stride, naccesses,
-                       warmup_passes, measure_passes)
-                cached = _POINT_MEMO.get(key)
-                if cached is not None:
-                    curves.points.append(ProbePoint(
-                        size=size, stride=stride,
-                        avg_cycles=cached[0], accesses=cached[1]))
-                    continue
-            if reset_fn is not None:
-                reset_fn()
-            if sweep_fn is not None:
-                total, count = sweep_fn(base_addr, stride, naccesses,
-                                        warmup_passes, measure_passes)
-            else:
-                addrs = range(base_addr, base_addr + naccesses * stride,
-                              stride)
-                now = 0.0
-                for _ in range(warmup_passes):
-                    for addr in addrs:
-                        now += access_fn(now, addr)
-                total = 0.0
-                count = 0
-                for _ in range(measure_passes):
-                    for addr in addrs:
-                        cycles = access_fn(now, addr)
-                        total += cycles
-                        now += cycles
-                        count += 1
-            avg = total / count
-            if memo_enabled:
-                _POINT_MEMO[key] = (avg, count)
-            curves.points.append(ProbePoint(
-                size=size, stride=stride, avg_cycles=avg, accesses=count))
+    for spec in specs:
+        if memo_enabled:
+            key = (memo_key, base_addr, spec.stride, spec.naccesses,
+                   warmup_passes, measure_passes)
+            cached = _POINT_MEMO.get(key)
+            if cached is not None:
+                curves.points.append(ProbePoint(
+                    size=spec.size, stride=spec.stride,
+                    avg_cycles=cached[0], accesses=cached[1]))
+                continue
+        point = run_stride_point(access_fn, spec, base_addr=base_addr,
+                                 warmup_passes=warmup_passes,
+                                 measure_passes=measure_passes,
+                                 reset_fn=reset_fn, sweep_fn=sweep_fn)
+        if memo_enabled:
+            _POINT_MEMO[key] = (point.avg_cycles, point.accesses)
+        curves.points.append(point)
     return curves

@@ -1,0 +1,206 @@
+"""Picklable sweep tasks: the vocabulary the executor and cache speak.
+
+Each task is a frozen dataclass that (a) pickles cleanly into a pool
+worker, (b) canonicalizes itself into a ``spec()`` dictionary for
+cache keying, and (c) knows how to ``run()`` itself by rebuilding its
+machines from the same frozen parameter constructors the serial code
+uses.  Because every probe resets its machine state per point and
+every sweep builds fresh machines, a task's result is a pure function
+of (model source, spec) — which is exactly what the cache digests.
+
+Sharding helpers chop one figure into independent tasks whose merged
+results are *identical* to the serial sweep:
+
+* stride probes shard by array size (the point list is size-major and
+  every point cold-starts, so concatenating per-size curves in size
+  order reproduces the serial point list exactly);
+* bulk-bandwidth tables shard by mechanism (each point already runs
+  on a fresh machine pair);
+* the EM3D ladder shards by (fraction, version) — the graph is
+  rebuilt per task from the same seed, and each version already runs
+  on a fresh machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "BulkBandwidthTask",
+    "Em3dSweepTask",
+    "ExperimentTask",
+    "StrideProbeTask",
+    "em3d_sweep_tasks",
+    "merge_curves",
+    "merge_points",
+    "stride_probe_tasks",
+]
+
+
+def _spec(task) -> dict:
+    spec = asdict(task)
+    spec["task"] = type(task).__name__
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Stride probes (Figures 1, 2, 4, 5, 7)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrideProbeTask:
+    """One named stride probe over a tuple of array sizes.
+
+    ``probe`` is a key of
+    :data:`repro.microbench.probes.STRIDE_PROBES`; ``mechanism``
+    applies to the remote probes, ``system``/``min_footprint`` to the
+    local ones.  Returns a
+    :class:`~repro.microbench.harness.LatencyCurves`.
+    """
+
+    probe: str
+    mechanism: str = ""
+    system: str = "t3d"
+    sizes: tuple = ()
+    min_footprint: int = 0
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.microbench import probes
+        return probes.run_named_stride_probe(
+            self.probe, mechanism=self.mechanism, system=self.system,
+            sizes=list(self.sizes) if self.sizes else None,
+            min_footprint=self.min_footprint)
+
+
+def stride_probe_tasks(probe: str, mechanism: str = "",
+                       system: str = "t3d", sizes=(),
+                       min_footprint: int = 0) -> list[StrideProbeTask]:
+    """One task per array size — the finest shard that still preserves
+    the serial (size-major) merge order by simple concatenation."""
+    return [StrideProbeTask(probe=probe, mechanism=mechanism,
+                            system=system, sizes=(size,),
+                            min_footprint=min_footprint)
+            for size in sizes]
+
+
+def merge_curves(curve_list):
+    """Concatenate per-shard curves back into one; with shards built
+    by :func:`stride_probe_tasks` the merged point list is identical
+    to the serial probe's."""
+    from repro.microbench.harness import LatencyCurves
+    merged = LatencyCurves()
+    for curves in curve_list:
+        merged.points.extend(curves.points)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Bulk bandwidth (Figure 8)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BulkBandwidthTask:
+    """One Figure 8 mechanism's bandwidth column (fresh machine per
+    size point).  Returns a list of
+    :class:`~repro.microbench.probes.BandwidthPoint`."""
+
+    direction: str            # "read" | "write"
+    mechanism: str
+    sizes: tuple = ()
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.microbench import probes
+        sizes = list(self.sizes)
+        if self.direction == "read":
+            mechs = {self.mechanism: probes.READ_MECHANISMS[self.mechanism]}
+            return probes.bulk_read_bandwidth_probe(sizes, mechanisms=mechs)
+        if self.direction == "write":
+            mechs = {self.mechanism: probes.WRITE_MECHANISMS[self.mechanism]}
+            return probes.bulk_write_bandwidth_probe(sizes,
+                                                     mechanisms=mechs)
+        raise ValueError(f"unknown direction {self.direction!r}")
+
+
+def merge_points(point_lists) -> list:
+    """Flatten per-mechanism shards in task order (matches the serial
+    mechanism-major loop)."""
+    merged = []
+    for points in point_lists:
+        merged.extend(points)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# EM3D (Figure 9)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Em3dSweepTask:
+    """One (version, remote-fraction) EM3D point.  The worker rebuilds
+    the seeded graph, so shards stay apples-to-apples with the shared-
+    graph serial sweep.  Returns a
+    :class:`~repro.apps.em3d.driver.SweepPoint`."""
+
+    version: str
+    fraction: float
+    nodes_per_pe: int = 200
+    degree: int = 10
+    shape: tuple = (2, 2, 1)
+    steps: int = 1
+    warmup_steps: int = 1
+    seed: int = 1995
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.apps.em3d.driver import sweep
+        points = sweep(fractions=(self.fraction,),
+                       versions=(self.version,),
+                       nodes_per_pe=self.nodes_per_pe,
+                       degree=self.degree, shape=tuple(self.shape),
+                       steps=self.steps, warmup_steps=self.warmup_steps,
+                       seed=self.seed)
+        return points[0]
+
+
+def em3d_sweep_tasks(fractions, versions, nodes_per_pe: int,
+                     degree: int, shape=(2, 2, 1), steps: int = 1,
+                     warmup_steps: int = 1,
+                     seed: int = 1995) -> list[Em3dSweepTask]:
+    """Fractions-major (version-minor) task list — the serial
+    :func:`~repro.apps.em3d.driver.sweep` order."""
+    return [Em3dSweepTask(version=version, fraction=fraction,
+                          nodes_per_pe=nodes_per_pe, degree=degree,
+                          shape=tuple(shape), steps=steps,
+                          warmup_steps=warmup_steps, seed=seed)
+            for fraction in fractions for version in versions]
+
+
+# ----------------------------------------------------------------------
+# Whole experiments (the ``repro experiments`` record)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One entry of the experiment registry, by paper anchor id.
+    Returns the runner's ``(rows, notes)``."""
+
+    exp_id: str
+    quick: bool = False
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.reporting.experiments import all_experiments
+        for experiment in all_experiments():
+            if experiment.exp_id == self.exp_id:
+                return experiment.run(self.quick)
+        raise KeyError(f"unknown experiment id {self.exp_id!r}")

@@ -282,20 +282,37 @@ def all_experiments() -> list[Experiment]:
     ]
 
 
-def run_all(quick: bool = False):
-    """Run everything; returns ``[(experiment, rows, notes), ...]``."""
-    out = []
-    for experiment in all_experiments():
-        rows, notes = experiment.run(quick)
-        out.append((experiment, rows, notes))
-    return out
+def run_all(quick: bool = False, jobs: int | None = None,
+            use_cache: bool | None = None):
+    """Run everything; returns ``[(experiment, rows, notes), ...]``.
+
+    Experiments are independent, so they fan out through the parallel
+    sweep engine: ``jobs`` shards them across a process pool (default:
+    the ``REPRO_JOBS`` environment knob, else serial in-process), and
+    the persistent result cache replays experiments whose (source,
+    parameters) digest has been computed before (``use_cache=False``
+    or ``REPRO_CACHE=0`` forces fresh runs).  Merge order is the
+    registry order either way, so output is identical to the serial
+    loop this replaces.
+    """
+    from repro.parallel.executor import SweepExecutor
+    from repro.parallel.tasks import ExperimentTask
+    experiments = all_experiments()
+    executor = SweepExecutor(jobs=jobs, use_cache=use_cache)
+    results = executor.run_tasks(
+        [ExperimentTask(exp_id=e.exp_id, quick=quick)
+         for e in experiments])
+    return [(experiment, rows, notes)
+            for experiment, (rows, notes) in zip(experiments, results)]
 
 
-def generate_json(quick: bool = False) -> list:
+def generate_json(quick: bool = False, jobs: int | None = None,
+                  use_cache: bool | None = None) -> list:
     """Machine-readable record: one object per experiment, with
     comparison rows and notes."""
     out = []
-    for experiment, rows, notes in run_all(quick):
+    for experiment, rows, notes in run_all(quick, jobs=jobs,
+                                           use_cache=use_cache):
         out.append({
             "id": experiment.exp_id,
             "title": experiment.title,
@@ -312,7 +329,8 @@ def generate_json(quick: bool = False) -> list:
     return out
 
 
-def generate_markdown(quick: bool = False) -> str:
+def generate_markdown(quick: bool = False, jobs: int | None = None,
+                      use_cache: bool | None = None) -> str:
     """Render the EXPERIMENTS.md document from live runs."""
     lines = [
         "# EXPERIMENTS — paper vs. measured",
@@ -330,7 +348,8 @@ def generate_markdown(quick: bool = False) -> str:
         "mechanism rankings) holds.",
         "",
     ]
-    for experiment, rows, notes in run_all(quick):
+    for experiment, rows, notes in run_all(quick, jobs=jobs,
+                                           use_cache=use_cache):
         lines.append(f"## {experiment.exp_id}: {experiment.title} "
                      f"(section {experiment.section})")
         lines.append("")

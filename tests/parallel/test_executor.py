@@ -1,0 +1,143 @@
+"""The sweep executor: job resolution, determinism, cache tiers, and
+the tracer/fork regression guard."""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import (SweepExecutor, _worker_init,
+                                     resolve_jobs)
+from repro.parallel.tasks import StrideProbeTask, stride_probe_tasks
+from repro.trace import tracer as trace
+
+KB = 1024
+SIZES = (4 * KB, 16 * KB)
+
+
+def _tasks():
+    return stride_probe_tasks("local_read", system="t3d", sizes=SIZES)
+
+
+def _points(curves):
+    return [(p.size, p.stride, p.avg_cycles, p.accesses)
+            for p in curves.points]
+
+
+# ----------------------------------------------------------------------
+# resolve_jobs
+# ----------------------------------------------------------------------
+
+def test_resolve_jobs_default_is_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2          # explicit argument wins
+
+
+def test_resolve_jobs_zero_means_all_cores(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+
+
+# ----------------------------------------------------------------------
+# Determinism and cache tiers
+# ----------------------------------------------------------------------
+
+def test_parallel_results_match_serial_in_order():
+    tasks = _tasks()
+    serial = SweepExecutor(jobs=1, use_cache=False).run_tasks(tasks)
+    parallel = SweepExecutor(jobs=2, use_cache=False).run_tasks(tasks)
+    assert [_points(c) for c in parallel] == [_points(c) for c in serial]
+
+
+def test_cache_replay_is_identical_and_all_hits(tmp_path):
+    tasks = _tasks()
+    cold_cache = ResultCache(tmp_path)
+    cold = SweepExecutor(jobs=1, cache=cold_cache).run_tasks(tasks)
+    assert cold_cache.stores == len(tasks)
+
+    warm_cache = ResultCache(tmp_path)
+    warm = SweepExecutor(jobs=1, cache=warm_cache).run_tasks(tasks)
+    assert warm_cache.hits == len(tasks)
+    assert warm_cache.misses == 0
+    assert [_points(c) for c in warm] == [_points(c) for c in cold]
+
+
+def test_use_cache_false_never_touches_disk(tmp_path):
+    tasks = _tasks()
+    SweepExecutor(jobs=1, use_cache=False).run_tasks(tasks)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_tasks_pickle_roundtrip():
+    import pickle
+    task = StrideProbeTask(probe="remote_write", mechanism="splitc",
+                           sizes=(4 * KB,))
+    assert pickle.loads(pickle.dumps(task)) == task
+
+
+# ----------------------------------------------------------------------
+# Tracer / fork interaction (the multiprocessing regression guard)
+# ----------------------------------------------------------------------
+
+def _child_trace_state(_):
+    """Runs inside a pool worker: report the inherited tracer state."""
+    return (trace.TRACE_ENABLED, trace.TRACER._sink is None)
+
+
+def test_workers_never_inherit_enabled_tracer(tmp_path):
+    """Pool workers forked while tracing is on must come up with
+    tracing off and no sink — a child flushing the parent's inherited
+    buffered sink would duplicate and interleave JSONL lines."""
+    sink_path = tmp_path / "run.jsonl"
+    with open(sink_path, "w") as sink:
+        with trace.tracing(sink=sink):
+            trace.emit("remote_read", t=0.0, pe=0, target=1, offset=0,
+                       cycles=10.0)
+            with ProcessPoolExecutor(max_workers=2,
+                                     initializer=_worker_init) as pool:
+                states = list(pool.map(_child_trace_state, range(4)))
+            trace.emit("remote_read", t=1.0, pe=0, target=1, offset=8,
+                       cycles=10.0)
+    assert states == [(False, True)] * 4
+
+    lines = sink_path.read_text().splitlines()
+    assert len(lines) == 2               # parent events only, exactly once
+    for line in lines:
+        assert json.loads(line)["ev"] == "remote_read"
+
+
+def test_executor_forces_serial_fresh_run_while_tracing(tmp_path):
+    """A traced run's product is the event stream: the executor must
+    compute every task in-process and must not consult the cache
+    (cached results emit no events)."""
+    tasks = _tasks()
+    cache = ResultCache(tmp_path)
+    executor = SweepExecutor(jobs=4, cache=cache)
+    with trace.tracing():
+        traced = executor.run_tasks(tasks)
+    assert list(tmp_path.iterdir()) == []        # cache never touched
+    serial = SweepExecutor(jobs=1, use_cache=False).run_tasks(tasks)
+    assert [_points(c) for c in traced] == [_points(c) for c in serial]
+
+
+def test_map_is_serial_while_tracing():
+    executor = SweepExecutor(jobs=4, use_cache=False)
+    with trace.tracing():
+        assert executor.map(abs, [-1, -2, -3]) == [1, 2, 3]

@@ -10,7 +10,7 @@ ROOT = Path(__file__).resolve().parent.parent
 
 DOCS = ["README.md", "DESIGN.md", "docs/timing_model.md",
         "docs/api_guide.md", "docs/paper_map.md",
-        "docs/observability.md"]
+        "docs/observability.md", "docs/performance.md"]
 
 #: Path-like references worth checking: backticked repo-relative paths.
 _PATH_RE = re.compile(

@@ -227,3 +227,22 @@ def test_fig9_em3d_sweep_matches_reference():
     finally:
         kernels.USE_FAST_COMPUTE = saved
     assert fast == ref
+
+
+def test_fig9_ghost_fill_fast_path_matches_reference():
+    """The inlined ghost-fill loops (reads and puts) must reproduce the
+    generic ``read_from``/``put_to`` paths exactly — every version that
+    fills ghosts, at a communication-heavy fraction."""
+    from repro.apps.em3d import driver, kernels
+
+    kw = dict(fractions=(0.2, 0.5),
+              versions=("bundle", "unroll", "put", "msg"),
+              nodes_per_pe=30, degree=4, shape=(2, 1, 1))
+    fast = driver.sweep(**kw)
+    saved = kernels.USE_FAST_FILL
+    kernels.USE_FAST_FILL = False
+    try:
+        ref = driver.sweep(**kw)
+    finally:
+        kernels.USE_FAST_FILL = saved
+    assert fast == ref

@@ -1,0 +1,119 @@
+"""Golden-equivalence suite for the parallel sweep engine.
+
+The contract of :mod:`repro.parallel` is that neither sharding a sweep
+across a process pool nor replaying it from the persistent result
+cache changes a single number: the merged results are *identical* to
+the serial, in-process reference sweep — same floats, same point
+order.  These tests drive small but regime-spanning versions of the
+figure sweeps that ``make bench`` routes through the engine (Figures
+1, 5, 8, 9) down all three tiers and assert equality, following the
+pattern of ``tests/test_fastpath_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.em3d import driver
+from repro.microbench import probes
+from repro.parallel import SweepExecutor
+from repro.parallel.cache import ResultCache
+from repro.parallel.tasks import (BulkBandwidthTask, em3d_sweep_tasks,
+                                  merge_curves, merge_points,
+                                  stride_probe_tasks)
+
+KB = 1024
+
+#: Spans L1 hits, misses, and DRAM page behavior without the full
+#: benchmark cost.
+PROBE_SIZES = (4 * KB, 16 * KB, 64 * KB)
+
+
+def _points(curves):
+    return [(p.size, p.stride, p.avg_cycles, p.accesses)
+            for p in curves.points]
+
+
+def _three_tier(tasks, tmp_path):
+    """Run a task list serial-fresh, parallel-fresh, and cache-replay;
+    return the three result lists."""
+    serial = SweepExecutor(jobs=1, use_cache=False).run_tasks(tasks)
+    parallel = SweepExecutor(jobs=2, use_cache=False).run_tasks(tasks)
+    SweepExecutor(jobs=1, cache=ResultCache(tmp_path)).run_tasks(tasks)
+    replay_cache = ResultCache(tmp_path)
+    cached = SweepExecutor(jobs=1, cache=replay_cache).run_tasks(tasks)
+    assert replay_cache.hits == len(tasks), "replay must be all hits"
+    return serial, parallel, cached
+
+
+# ----------------------------------------------------------------------
+# Figure 1: local read, both machines
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("system", ["t3d", "workstation"])
+def test_fig1_sharded_and_cached_match_serial(system, tmp_path):
+    tasks = stride_probe_tasks("local_read", system=system,
+                               sizes=PROBE_SIZES)
+    serial, parallel, cached = _three_tier(tasks, tmp_path)
+    reference = probes.run_named_stride_probe("local_read", system=system,
+                                              sizes=list(PROBE_SIZES))
+    for results in (serial, parallel, cached):
+        assert _points(merge_curves(results)) == _points(reference)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: acknowledged remote write, both mechanisms
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("mechanism", ["blocking", "splitc"])
+def test_fig5_sharded_and_cached_match_serial(mechanism, tmp_path):
+    tasks = stride_probe_tasks("remote_write", mechanism=mechanism,
+                               sizes=PROBE_SIZES)
+    serial, parallel, cached = _three_tier(tasks, tmp_path)
+    reference = probes.remote_write_probe(mechanism=mechanism,
+                                          sizes=list(PROBE_SIZES))
+    for results in (serial, parallel, cached):
+        assert _points(merge_curves(results)) == _points(reference)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: bulk bandwidth, per-mechanism shards
+# ----------------------------------------------------------------------
+
+FIG8_SIZES = (8, 512, 8 * KB)
+
+
+def test_fig8_sharded_and_cached_match_serial(tmp_path):
+    tasks = [BulkBandwidthTask("read", m, FIG8_SIZES)
+             for m in probes.READ_MECHANISMS]
+    serial, parallel, cached = _three_tier(tasks, tmp_path)
+    reference = probes.bulk_read_bandwidth_probe(sizes=list(FIG8_SIZES))
+    for results in (serial, parallel, cached):
+        assert merge_points(results) == reference
+
+
+def test_fig8_write_sharded_and_cached_match_serial(tmp_path):
+    tasks = [BulkBandwidthTask("write", m, FIG8_SIZES[1:])
+             for m in probes.WRITE_MECHANISMS]
+    serial, parallel, cached = _three_tier(tasks, tmp_path)
+    reference = probes.bulk_write_bandwidth_probe(sizes=list(FIG8_SIZES[1:]))
+    for results in (serial, parallel, cached):
+        assert merge_points(results) == reference
+
+
+# ----------------------------------------------------------------------
+# Figure 9: EM3D, per-(fraction, version) shards
+# ----------------------------------------------------------------------
+
+EM3D_KW = dict(nodes_per_pe=30, degree=4, shape=(2, 1, 1))
+EM3D_FRACTIONS = (0.0, 0.5)
+EM3D_VERSIONS = ("simple", "bulk")
+
+
+def test_fig9_sharded_and_cached_match_serial(tmp_path):
+    tasks = em3d_sweep_tasks(EM3D_FRACTIONS, EM3D_VERSIONS, **EM3D_KW)
+    serial, parallel, cached = _three_tier(tasks, tmp_path)
+    reference = driver.sweep(fractions=EM3D_FRACTIONS,
+                             versions=EM3D_VERSIONS, **EM3D_KW)
+    for results in (serial, parallel, cached):
+        assert list(results) == reference

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff two bench snapshots and fail on mean wall-clock regressions.
+
+Compares the per-benchmark means of a new snapshot (as written by
+``tools/bench_snapshot.py``) against a committed baseline and exits
+nonzero when any benchmark regressed by more than the threshold —
+the perf gate behind ``make bench-compare``.
+
+* Benchmarks only present in one snapshot are reported but never fail
+  the gate (the suite grows over time).
+* Means below the noise floor (``--min-seconds``, default 0.05 s) are
+  skipped: sub-50 ms timings on a shared container are scheduling
+  noise, not signal.
+* ``--warn-only`` prints the comparison but always exits zero (used in
+  the ``make bench`` summary, where the fresh snapshot may reflect a
+  deliberately different configuration than the committed baseline).
+
+Usage: bench_compare.py BASE_JSON NEW_JSON
+           [--threshold PCT] [--min-seconds S] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def compare(base: dict, new: dict, threshold: float,
+            min_seconds: float) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines)."""
+    base_means = base.get("benchmarks", {})
+    new_means = new.get("benchmarks", {})
+    lines, regressions = [], []
+    for name in sorted(set(base_means) | set(new_means)):
+        b, n = base_means.get(name), new_means.get(name)
+        if b is None:
+            lines.append(f"  NEW       {name}: {n:.4f} s")
+            continue
+        if n is None:
+            lines.append(f"  DROPPED   {name} (was {b:.4f} s)")
+            continue
+        delta = (n - b) / b if b > 0 else 0.0
+        tag = "ok"
+        if max(b, n) >= min_seconds and delta > threshold:
+            tag = "REGRESSED"
+            regressions.append(
+                f"{name}: {b:.4f} s -> {n:.4f} s (+{100 * delta:.1f}%)")
+        lines.append(f"  {tag:<10}{name}: {b:.4f} -> {n:.4f} s "
+                     f"({100 * delta:+.1f}%)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a bench snapshot regresses vs a baseline")
+    parser.add_argument("base", help="committed baseline snapshot JSON")
+    parser.add_argument("new", help="freshly produced snapshot JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed mean increase, fraction "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore benchmarks where both means are "
+                             "below this noise floor (default 0.05)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report but always exit 0")
+    args = parser.parse_args(argv)
+
+    with open(args.base) as handle:
+        base = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+
+    lines, regressions = compare(base, new, args.threshold,
+                                 args.min_seconds)
+    print(f"bench compare: {args.base} -> {args.new} "
+          f"(threshold +{100 * args.threshold:.0f}%, "
+          f"noise floor {args.min_seconds:.2f} s)")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        if args.warn_only:
+            print("warn-only: not failing")
+            return 0
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

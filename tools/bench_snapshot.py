@@ -2,12 +2,18 @@
 """Condense a pytest-benchmark JSON dump into a perf-trajectory snapshot.
 
 ``make bench`` runs the benchmark suite with ``--benchmark-json`` and
-pipes the raw dump through this script, producing ``BENCH_PR1.json``:
+pipes the raw dump through this script, producing ``BENCH_PR<n>.json``:
 one mean wall-clock figure per benchmark plus speedups against the
-pre-optimization baselines recorded below.  Future PRs diff their own
-snapshot against the committed one to catch performance regressions.
+baselines recorded below.  Future PRs diff their own snapshot against
+the committed one (``make bench-compare``) to catch perf regressions.
 
-Usage: bench_snapshot.py RAW_JSON OUT_JSON
+With ``--meta FILE`` the run metadata that ``benchmarks/conftest.py``
+drops (``.bench_meta.json``: resolved jobs, CPU count, result-cache
+hit/miss totals) is embedded in the snapshot, so every number records
+*how* it was produced — a warm-cache replay and a cold serial run are
+not the same measurement.
+
+Usage: bench_snapshot.py RAW_JSON OUT_JSON [--meta FILE]
 """
 
 from __future__ import annotations
@@ -24,8 +30,18 @@ PRE_PR_BASELINES = {
     "test_fig9_em3d": 6.0163,
 }
 
+#: Mean wall-clock seconds of the sweep-heavy figure group at the PR 2
+#: snapshot (BENCH_PR2.json) — the serial, cache-less baseline the
+#: parallel sweep engine is measured against.
+PARALLEL_GROUP_BASELINES = {
+    "test_fig5_remote_write": 2.0956,
+    "test_fig7_nonblocking_write": 1.4154,
+    "test_fig8_bulk_bandwidth": 2.1206,
+    "test_fig9_em3d": 2.085,
+}
 
-def condense(raw: dict) -> dict:
+
+def condense(raw: dict, meta: dict | None = None) -> dict:
     means = {b["name"]: round(b["stats"]["mean"], 4)
              for b in raw["benchmarks"]}
     speedups = {
@@ -33,8 +49,8 @@ def condense(raw: dict) -> dict:
         for name, baseline in PRE_PR_BASELINES.items()
         if name in means and means[name] > 0
     }
-    return {
-        "schema": "bench-snapshot-v1",
+    snapshot = {
+        "schema": "bench-snapshot-v2",
         "command": "make bench",
         "units": "seconds, mean wall-clock per benchmark",
         "benchmark_count": len(means),
@@ -43,22 +59,64 @@ def condense(raw: dict) -> dict:
         "pre_pr_baseline_seconds": PRE_PR_BASELINES,
         "speedup_vs_pre_pr": speedups,
     }
+    group = {name: means[name] for name in PARALLEL_GROUP_BASELINES
+             if name in means}
+    if len(group) == len(PARALLEL_GROUP_BASELINES):
+        base_total = round(sum(PARALLEL_GROUP_BASELINES.values()), 4)
+        group_total = round(sum(group.values()), 4)
+        snapshot["parallel_group"] = {
+            "benchmarks": group,
+            "total_seconds": group_total,
+            "pr2_baseline_seconds": base_total,
+            "speedup_vs_pr2": (round(base_total / group_total, 2)
+                               if group_total > 0 else None),
+        }
+    if meta is not None:
+        snapshot["run_meta"] = meta
+    return snapshot
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    args = list(argv[1:])
+    meta = None
+    if "--meta" in args:
+        at = args.index("--meta")
+        try:
+            meta_path = args[at + 1]
+        except IndexError:
+            print("--meta requires a file argument", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            meta = None     # a missing meta file degrades to v1 content
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as handle:
+    with open(args[0]) as handle:
         raw = json.load(handle)
-    snapshot = condense(raw)
-    with open(argv[2], "w") as handle:
+    snapshot = condense(raw, meta=meta)
+    with open(args[1], "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
         handle.write("\n")
     for name, speedup in snapshot["speedup_vs_pre_pr"].items():
         print(f"{name}: {snapshot['benchmarks'][name]:.3f} s "
               f"({speedup:.2f}x vs pre-PR {PRE_PR_BASELINES[name]:.3f} s)")
-    print(f"wrote {argv[2]} ({snapshot['benchmark_count']} benchmarks, "
+    group = snapshot.get("parallel_group")
+    if group:
+        print(f"fig5+fig7+fig8+fig9: {group['total_seconds']:.3f} s "
+              f"({group['speedup_vs_pr2']:.2f}x vs PR2 "
+              f"{group['pr2_baseline_seconds']:.3f} s)")
+    if meta:
+        cache = meta.get("cache", {})
+        print(f"run: jobs={meta.get('jobs')} "
+              f"cpus={meta.get('cpu_count')} "
+              f"cache={'on' if meta.get('cache_enabled') else 'off'} "
+              f"hits={cache.get('hits', 0)} "
+              f"misses={cache.get('misses', 0)}")
+    print(f"wrote {args[1]} ({snapshot['benchmark_count']} benchmarks, "
           f"{snapshot['total_mean_seconds']:.1f} s total mean)")
     return 0
 
