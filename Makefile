@@ -6,8 +6,8 @@ PYTHON ?= python3
 REPRO_JOBS ?= 1
 BASE ?= BENCH_PR2.json
 
-.PHONY: test bench bench-compare bench-quick docs-check experiments \
-	examples quickcheck clean
+.PHONY: test bench bench-compare bench-quick calibrate \
+	calibrate-check docs-check experiments examples quickcheck clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -32,6 +32,21 @@ bench-compare:
 
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q
+	PYTHONPATH=src $(PYTHON) tools/check_doc_links.py
+
+# Refit every analytic surrogate model against the simulator and
+# rewrite FITTED_MODELS.json (observations run through the sweep
+# engine, so REPRO_JOBS/REPRO_CACHE apply).
+calibrate:
+	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m repro \
+		models fit
+
+# Regression oracle: re-evaluate the *committed* fitted parameters
+# against the current simulator; exit nonzero when any model no
+# longer meets its recorded MAPE gate (behavioral drift).
+calibrate-check:
+	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m repro \
+		models report --check
 
 bench-quick:
 	PYTHONPATH=src $(PYTHON) tools/bench_quick.py

@@ -1,0 +1,108 @@
+"""Analytic surrogate models with auto-calibration (ROADMAP item 2).
+
+``repro.models`` turns the paper's cost stories into executable
+closed forms: one model per shell primitive and one per figure curve,
+each an O(1) ``predict(params, machine, point)`` plus a declarative
+free-parameter spec.  :mod:`repro.models.calibrate` fits the free
+parameters against simulator output (gathered through the parallel
+sweep engine, so observations cache and shard), gates each fit on
+MAPE, and :mod:`repro.models.artifact` serializes the fitted
+parameters to the versioned ``FITTED_MODELS.json``.
+
+The fitted models are the repository's O(1) *serving tier* — answer a
+latency/bandwidth question without simulating — and its *regression
+oracle*: re-verifying the committed fit against the current simulator
+(``make calibrate-check``) flags behavioral drift that unit tests on
+components can miss.  The catalog of formulas lives in
+``docs/models.md``.
+"""
+
+from __future__ import annotations
+
+from repro.models.artifact import (
+    ARTIFACT_VERSION,
+    DEFAULT_ARTIFACT_PATH,
+    artifact_results,
+    load_artifact,
+    save_artifact,
+)
+from repro.models.base import AnalyticModel, CalPoint, ParamSpec, mape
+from repro.models.calibrate import (
+    CalibrationError,
+    FitResult,
+    calibrate_models,
+    fit_model,
+    gather_observations,
+)
+from repro.models.figures import (
+    Em3dScalingModel,
+    Fig1LocalReadModel,
+    Fig2LocalWriteModel,
+    Fig4RemoteReadModel,
+    Fig5RemoteWriteModel,
+    Fig7NonblockingStoreModel,
+    Fig8BulkBandwidthModel,
+)
+from repro.models.primitives import (
+    BltModel,
+    BulkTransferModel,
+    LocalReadModel,
+    LocalWriteModel,
+    PrefetchModel,
+    RemoteReadModel,
+    RemoteWriteModel,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "AnalyticModel",
+    "CalPoint",
+    "CalibrationError",
+    "DEFAULT_ARTIFACT_PATH",
+    "FitResult",
+    "ParamSpec",
+    "REGISTRY",
+    "all_models",
+    "artifact_results",
+    "calibrate_models",
+    "fit_model",
+    "gather_observations",
+    "get_model",
+    "load_artifact",
+    "mape",
+    "save_artifact",
+]
+
+#: Every registered model class, primitives first, figures after —
+#: the order reports and the catalog use.
+_MODEL_CLASSES = (
+    LocalReadModel,
+    LocalWriteModel,
+    RemoteReadModel,
+    RemoteWriteModel,
+    PrefetchModel,
+    BltModel,
+    BulkTransferModel,
+    Fig1LocalReadModel,
+    Fig2LocalWriteModel,
+    Fig4RemoteReadModel,
+    Fig5RemoteWriteModel,
+    Fig7NonblockingStoreModel,
+    Fig8BulkBandwidthModel,
+    Em3dScalingModel,
+)
+
+REGISTRY = {cls().name: cls for cls in _MODEL_CLASSES}
+
+
+def get_model(name: str) -> AnalyticModel:
+    """Instantiate one registered model by name."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown model {name!r}; choose from "
+                       f"{sorted(REGISTRY)}")
+    return REGISTRY[name]()
+
+
+def all_models() -> list:
+    """Fresh instances of every registered model, registry order."""
+    return [cls() for cls in _MODEL_CLASSES]

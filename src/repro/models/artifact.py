@@ -1,0 +1,91 @@
+"""The fitted-parameter artifact: versioned JSON, committed at the
+repo root (``FITTED_MODELS.json``).
+
+The artifact is the serving tier's input and the regression oracle's
+baseline: it records, per model, the fitted parameters, the achieved
+MAPE, the gate it was held to, and how many points it was fit over —
+plus the source fingerprint of the simulator that produced the
+observations (provenance only; ``make calibrate-check`` re-verifies
+against the *current* simulator rather than trusting the fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.models.calibrate import FitResult
+from repro.parallel.cache import source_fingerprint
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "DEFAULT_ARTIFACT_PATH",
+    "artifact_results",
+    "load_artifact",
+    "save_artifact",
+]
+
+ARTIFACT_VERSION = 1
+
+#: Repo-root default; the CLI and Makefile both point here.
+DEFAULT_ARTIFACT_PATH = (
+    Path(__file__).resolve().parents[3] / "FITTED_MODELS.json")
+
+
+def save_artifact(results, path=None, quick: bool = False) -> Path:
+    """Serialize fit results to the versioned JSON artifact."""
+    path = Path(path) if path is not None else DEFAULT_ARTIFACT_PATH
+    payload = {
+        "version": ARTIFACT_VERSION,
+        "quick": bool(quick),
+        "source_fingerprint": source_fingerprint(),
+        "models": {
+            r.model: {
+                "params": {k: round(v, 6) for k, v in sorted(
+                    r.params.items())},
+                "mape": round(r.mape, 4),
+                "target_mape": r.target_mape,
+                "npoints": r.npoints,
+            }
+            for r in sorted(results, key=lambda r: r.model)
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path=None) -> dict:
+    """Load and structurally validate an artifact.
+
+    Returns the decoded payload; raises ``ValueError`` on version or
+    shape mismatches (a clear signal, not a KeyError deep in a fit).
+    """
+    path = Path(path) if path is not None else DEFAULT_ARTIFACT_PATH
+    payload = json.loads(path.read_text())
+    version = payload.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {version!r} unsupported "
+            f"(expected {ARTIFACT_VERSION})")
+    models = payload.get("models")
+    if not isinstance(models, dict):
+        raise ValueError(f"{path}: artifact has no 'models' mapping")
+    for name, entry in models.items():
+        if not isinstance(entry.get("params"), dict):
+            raise ValueError(
+                f"{path}: model {name!r} entry has no 'params' mapping")
+        for field in ("mape", "target_mape", "npoints"):
+            if field not in entry:
+                raise ValueError(
+                    f"{path}: model {name!r} entry missing {field!r}")
+    return payload
+
+
+def artifact_results(payload) -> list:
+    """Rehydrate an artifact's entries as :class:`FitResult` records."""
+    return [
+        FitResult(model=name, params=dict(entry["params"]),
+                  mape=entry["mape"], target_mape=entry["target_mape"],
+                  npoints=entry["npoints"])
+        for name, entry in sorted(payload["models"].items())
+    ]

@@ -1,0 +1,179 @@
+"""The analytic-model vocabulary: parameter specs, calibration points,
+and the :class:`AnalyticModel` base class.
+
+An analytic model is the paper's own artifact — a closed-form cost
+story (``cycles = setup + words / bandwidth``, "off-page adds 9
+cycles", ...) — made executable.  Each model couples three things:
+
+* a **formula**: :meth:`AnalyticModel.predict`, a pure O(1) function
+  of (free parameters, machine structural constants, stimulus
+  features) returning the figure's metric (cycles, MB/s, us/edge);
+* a **stimulus**: :meth:`AnalyticModel.tasks` returns the picklable
+  sweep tasks (:mod:`repro.parallel.tasks`) whose simulator output the
+  model is calibrated against, and :meth:`AnalyticModel.observations`
+  converts those task results into labelled calibration points;
+* a **parameter spec**: the declarative list of free parameters
+  (name, bounds, units) that the calibrator searches.
+
+Free parameters are the *measured* costs the paper could not decompose
+(shell overheads, drain times); structural constants (cache geometry,
+bank interleave, write-buffer depth) come from the
+:class:`~repro.params.MachineParams` passed to ``predict`` and are
+never fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import MachineParams, t3d_machine_params
+
+__all__ = ["AnalyticModel", "CalPoint", "ParamSpec", "mape"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One free parameter: its name, search bounds, and units.
+
+    ``points`` is the number of linspace candidates per calibration
+    round; ``lo == hi`` (or ``points == 1``) degenerates to a single
+    candidate, which the calibrator must handle (a pinned parameter).
+    """
+
+    name: str
+    lo: float
+    hi: float
+    units: str = "cycles"
+    points: int = 9
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(
+                f"unfittable bounds for parameter {self.name!r}: "
+                f"lo={self.lo} > hi={self.hi}")
+        if self.points < 1:
+            raise ValueError(
+                f"parameter {self.name!r} needs at least one grid point")
+
+    def linspace(self, lo: float | None = None,
+                 hi: float | None = None) -> list[float]:
+        """Candidate values across ``[lo, hi]`` (defaults: own bounds),
+        clamped into the spec's bounds."""
+        lo = self.lo if lo is None else min(max(lo, self.lo), self.hi)
+        hi = self.hi if hi is None else min(max(hi, self.lo), self.hi)
+        if hi <= lo or self.points == 1:
+            return [lo]
+        step = (hi - lo) / (self.points - 1)
+        return [lo + i * step for i in range(self.points)]
+
+    @property
+    def mid(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+
+@dataclass(frozen=True)
+class CalPoint:
+    """One calibration point: stimulus features and the simulator's
+    observed value for them.
+
+    ``features`` is a tuple of ``(name, value)`` pairs (hashable, so
+    points can key caches); :attr:`as_dict` gives the mapping form
+    ``predict`` receives.
+    """
+
+    features: tuple
+    observed: float
+
+    @property
+    def as_dict(self) -> dict:
+        return dict(self.features)
+
+
+def mape(pairs) -> float:
+    """Mean absolute percentage error over ``(observed, predicted)``
+    pairs, in percent.  Observations at exactly zero are excluded from
+    the mean (percentage error is undefined there); an all-zero set
+    returns 0.0 only when every prediction is also zero, else infinity.
+    """
+    total = 0.0
+    count = 0
+    zero_mismatch = False
+    for observed, predicted in pairs:
+        if observed == 0.0:
+            if predicted != 0.0:
+                zero_mismatch = True
+            continue
+        total += abs(predicted - observed) / abs(observed)
+        count += 1
+    if count == 0:
+        return float("inf") if zero_mismatch else 0.0
+    return 100.0 * total / count
+
+
+@dataclass
+class AnalyticModel:
+    """Base class: one closed-form cost model with its calibration
+    stimulus.
+
+    Subclasses set the class attributes and implement
+    :meth:`predict`, :meth:`tasks`, and :meth:`observations`.
+    ``machine`` defaults to the T3D parameterization every probe uses.
+    """
+
+    #: Registry key, e.g. ``"fig1_local_read"``.
+    name: str = ""
+    #: The paper figure/section the formula explains.
+    figure: str = ""
+    #: Human title for the catalog and reports.
+    title: str = ""
+    #: Units of the predicted value (cycles, MB/s, us/edge).
+    units: str = "cycles"
+    #: MAPE gate for this curve, percent.
+    target_mape: float = 5.0
+    #: Declarative free-parameter spec, in calibration order.
+    param_specs: tuple = ()
+    #: Feature names a stimulus point carries, for the catalog.
+    feature_names: tuple = ()
+
+    machine: MachineParams = field(default_factory=t3d_machine_params)
+
+    # -- formula -------------------------------------------------------
+
+    def predict(self, params: dict, machine: MachineParams,
+                point: dict) -> float:
+        """The closed form: O(1) cycles (or units) for one stimulus
+        point, given free parameters and structural machine constants."""
+        raise NotImplementedError
+
+    # -- stimulus ------------------------------------------------------
+
+    def tasks(self, quick: bool = False) -> list:
+        """Picklable sweep tasks producing this model's calibration
+        data (run through the SweepExecutor, so results cache and
+        shard like every other sweep)."""
+        raise NotImplementedError
+
+    def observations(self, results: list, quick: bool = False) -> list:
+        """Convert ``tasks``' results (same order) into
+        :class:`CalPoint` lists."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------
+
+    def default_params(self) -> dict:
+        """Mid-bounds starting parameters."""
+        return {spec.name: spec.mid for spec in self.param_specs}
+
+    def seed_params(self, points: list) -> dict | None:
+        """Optional analytic initializer (e.g. a two-point slope
+        solve) the calibrator refines from; ``None`` = start at
+        mid-bounds."""
+        return None
+
+    def evaluate(self, params: dict, points: list) -> float:
+        """MAPE of ``params`` over calibration points, percent."""
+        machine = self.machine
+        return mape((p.observed,
+                     self.predict(params, machine, p.as_dict))
+                    for p in points)

@@ -1,0 +1,182 @@
+"""Auto-calibration: fit every analytic model against the simulator.
+
+The loop is the paper's own methodology, closed: run the probe suite
+(here, through the PR 5 parallel sweep engine, so observations cache
+and shard), then search each model's free parameters until the closed
+form reproduces the measured curve.  Fitting is **coordinate descent
+over linspace grids**: every round scans one parameter at a time
+across a window of candidate values (``ParamSpec.linspace``), keeps
+the best, and halves the window for the next round — a derivative-free
+search that handles the models' flat plateaus and max() kinks.  Models
+that can, seed the search analytically (least-squares affine solves),
+so the grid only polishes.
+
+The fit is gated on MAPE: each model records a ``target_mape`` and
+:func:`calibrate_models` (with ``strict=True``) raises
+:class:`CalibrationError` naming the model, the achieved error, and
+the target when a fit misses it — a misfit against an unchanged
+formula means the *simulator* changed, which is exactly the regression
+signal ``make calibrate-check`` watches for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import AnalyticModel
+from repro.parallel.executor import SweepExecutor
+
+__all__ = [
+    "CalibrationError",
+    "FitResult",
+    "calibrate_models",
+    "fit_model",
+    "gather_observations",
+]
+
+
+class CalibrationError(RuntimeError):
+    """A model's best fit missed its MAPE gate (or its stimulus was
+    unusable).  The message always names the model and the numbers."""
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one model."""
+
+    model: str
+    params: dict
+    mape: float
+    target_mape: float
+    npoints: int
+
+    @property
+    def ok(self) -> bool:
+        return self.mape <= self.target_mape
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "MISS"
+        return (f"{self.model}: MAPE {self.mape:.2f}% "
+                f"(target {self.target_mape:.1f}%, {self.npoints} points, "
+                f"{len(self.params)} params) [{status}]")
+
+
+def gather_observations(models, quick: bool = False,
+                        jobs: int | None = None,
+                        use_cache: bool | None = None,
+                        cache=None) -> dict:
+    """Run every model's stimulus through one executor pass.
+
+    Tasks are deduplicated by spec across models (several models
+    deliberately share stimuli — e.g. the local-read primitive reuses
+    Figure 1's per-size shards), executed once (cache replay, then
+    pool fan-out), and fanned back out to each model's
+    ``observations``.  Returns ``{model.name: [CalPoint, ...]}``.
+    """
+    executor = SweepExecutor(jobs=jobs, use_cache=use_cache, cache=cache)
+    wanted: list[tuple[AnalyticModel, list]] = []
+    order: list[tuple] = []          # unique task keys, first-seen order
+    unique: dict[tuple, int] = {}
+    tasks = []
+    for model in models:
+        model_tasks = model.tasks(quick=quick)
+        wanted.append((model, model_tasks))
+        for task in model_tasks:
+            key = _task_key(task)
+            if key not in unique:
+                unique[key] = len(tasks)
+                order.append(key)
+                tasks.append(task)
+    results = executor.run_tasks(tasks)
+    observations = {}
+    for model, model_tasks in wanted:
+        model_results = [results[unique[_task_key(t)]] for t in model_tasks]
+        observations[model.name] = model.observations(model_results,
+                                                      quick=quick)
+    return observations
+
+
+def _task_key(task) -> tuple:
+    spec = task.spec()
+    return tuple(sorted((k, _freeze(v)) for k, v in spec.items()))
+
+
+def _freeze(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def fit_model(model: AnalyticModel, points, rounds: int = 6) -> FitResult:
+    """Coordinate-descent linspace search for one model.
+
+    Round 0 scans each parameter across its full declared bounds;
+    every later round re-scans a window centred on the incumbent,
+    halved per round.  Degenerate specs (``lo == hi`` or one grid
+    point) collapse to their single candidate and simply stay pinned.
+    """
+    if not points:
+        raise CalibrationError(
+            f"model {model.name!r} produced no calibration points")
+    best = model.seed_params(points) or model.default_params()
+    # Clamp seeds into bounds so the fitted artifact always respects
+    # the declared spec.
+    for spec in model.param_specs:
+        best[spec.name] = min(max(best[spec.name], spec.lo), spec.hi)
+    best_err = model.evaluate(best, points)
+    stalls = 0
+    for rnd in range(rounds):
+        improved = False
+        for spec in model.param_specs:
+            if rnd == 0:
+                candidates = spec.linspace()
+            else:
+                window = (spec.hi - spec.lo) * (0.5 ** rnd)
+                center = best[spec.name]
+                candidates = spec.linspace(center - window / 2,
+                                           center + window / 2)
+            trial = dict(best)
+            for value in candidates:
+                trial[spec.name] = value
+                err = model.evaluate(trial, points)
+                if err < best_err - 1e-12:
+                    best = dict(trial)
+                    best_err = err
+                    improved = True
+        # A symmetric window centred on the incumbent can miss the
+        # optimum for one round and recover it on the next (finer)
+        # grid — only give up after two stalled rounds in a row.
+        if improved:
+            stalls = 0
+        elif rnd > 0:
+            stalls += 1
+            if stalls >= 2:
+                break
+    return FitResult(model=model.name, params=best, mape=best_err,
+                     target_mape=model.target_mape, npoints=len(points))
+
+
+def calibrate_models(models, quick: bool = False, jobs: int | None = None,
+                     use_cache: bool | None = None, cache=None,
+                     rounds: int = 6, strict: bool = False) -> list:
+    """Gather observations once, then fit every model.
+
+    With ``strict`` every gate miss raises :class:`CalibrationError`;
+    otherwise misses are recorded in the returned
+    :class:`FitResult` list (``result.ok``) for the caller to report.
+    """
+    models = list(models)
+    observations = gather_observations(models, quick=quick, jobs=jobs,
+                                       use_cache=use_cache, cache=cache)
+    results = []
+    for model in models:
+        result = fit_model(model, observations[model.name], rounds=rounds)
+        if strict and not result.ok:
+            raise CalibrationError(
+                f"model {model.name!r} missed its MAPE gate: achieved "
+                f"{result.mape:.2f}% > target {result.target_mape:.1f}% "
+                f"over {result.npoints} points — either the closed form "
+                f"no longer matches the simulator (a behavioral change) "
+                f"or the parameter bounds are too tight")
+        results.append(result)
+    return results

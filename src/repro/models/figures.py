@@ -1,0 +1,640 @@
+"""Closed-form models of the paper's figure curves.
+
+One model per reproduced figure (1, 2, 4, 5, 7, 8, and the EM3D
+scaling study of Figure 9).  Each ``predict`` is the figure's cost
+story written down: structural terms (cache reach, line leaders, DRAM
+chunk combinatorics, write-buffer depth) come from
+:class:`~repro.params.MachineParams`; the latency coefficients are the
+free parameters the calibrator fits.  Stimuli reuse the exact
+``repro series`` grids, so calibration observations share cache
+entries with figure generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.microbench.harness import default_sizes
+from repro.models.base import AnalyticModel, CalPoint, ParamSpec
+from repro.models.forms import (
+    affine_fit,
+    capped_accesses,
+    cycles_to_mbps,
+    leader_fraction,
+    mbps_to_cycles,
+    peek_lag_fractions,
+    sawtooth_fractions,
+    words_in,
+)
+from repro.parallel.tasks import (
+    BulkBandwidthTask,
+    Em3dSweepTask,
+    StrideProbeTask,
+    merge_curves,
+)
+
+__all__ = [
+    "Em3dScalingModel",
+    "Fig1LocalReadModel",
+    "Fig2LocalWriteModel",
+    "Fig4RemoteReadModel",
+    "Fig5RemoteWriteModel",
+    "Fig7NonblockingStoreModel",
+    "Fig8BulkBandwidthModel",
+]
+
+KB = 1024
+
+
+def _stride_tasks(probe, sizes, mechanism=""):
+    return [StrideProbeTask(probe=probe, mechanism=mechanism,
+                            system="t3d", sizes=(size,))
+            for size in sizes]
+
+
+def _stride_points(results, extra=()):
+    """Flatten per-size LatencyCurves shards into CalPoints."""
+    curves = merge_curves(results)
+    return [CalPoint(features=tuple(extra) + (("size", p.size),
+                                              ("stride", p.stride)),
+                     observed=p.avg_cycles)
+            for p in curves.points]
+
+
+def _dram_geometry(machine):
+    dram = machine.node.dram
+    return dram.bank_interleave_bytes, dram.banks
+
+
+# ----------------------------------------------------------------------
+# Figure 1: local read latency vs (size, stride) — T3D panel
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig1LocalReadModel(AnalyticModel):
+    """Average T3D read cost: cache-reach plateau, then line-leader
+    misses whose DRAM cost follows the chunk sawtooth.
+
+    ``avg = f*(miss + off_page*rm + same_bank*cf) + (1-f)*hit`` where
+    ``f`` is the per-line leader fraction, and ``rm``/``cf`` are the
+    leader stream's steady-state row-miss / bank-conflict fractions.
+    Footprints within L1 reach cost ``hit`` flat (the T3D TLB never
+    misses — the paper's "no TLB cliff" observation).
+    """
+
+    name: str = "fig1_local_read"
+    figure: str = "Figure 1"
+    title: str = "Local read latency vs array size and stride (T3D)"
+    target_mape: float = 5.0
+    feature_names: tuple = ("size", "stride")
+    param_specs: tuple = (
+        ParamSpec("hit", 0.5, 2.0, description="L1 hit cost"),
+        ParamSpec("miss", 15.0, 30.0,
+                  description="DRAM page-hit read (L1 miss)"),
+        ParamSpec("off_page", 5.0, 15.0, description="row-miss penalty"),
+        ParamSpec("same_bank", 5.0, 15.0,
+                  description="back-to-back bank-conflict penalty"),
+    )
+
+    def tasks(self, quick: bool = False):
+        hi = 256 * KB if quick else 1024 * KB
+        return _stride_tasks("local_read", default_sizes(hi=hi))
+
+    def observations(self, results, quick: bool = False):
+        return _stride_points(results)
+
+    def predict(self, params, machine, point):
+        size, stride = point["size"], point["stride"]
+        l1 = machine.node.l1
+        naccesses = capped_accesses(size, stride)
+        footprint = naccesses * stride
+        if footprint <= l1.size_bytes:
+            return params["hit"]
+        frac, leader_stride = leader_fraction(stride, l1.line_bytes)
+        interleave, banks = _dram_geometry(machine)
+        rm, cf = sawtooth_fractions(footprint // leader_stride,
+                                    leader_stride, interleave, banks)
+        leader = (params["miss"] + params["off_page"] * rm
+                  + params["same_bank"] * cf)
+        return frac * leader + (1.0 - frac) * params["hit"]
+
+
+# ----------------------------------------------------------------------
+# Figure 2: local write latency vs (size, stride)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig2LocalWriteModel(AnalyticModel):
+    """Average T3D write cost through the merging write buffer.
+
+    Sub-line strides merge into open entries and cost the bare issue.
+    At line strides and beyond every write opens an entry whose DRAM
+    drain is pipelined across the buffer's depth, so the steady-state
+    cost is the drain initiation interval:
+    ``max(issue, (drain + off_page*rm + same_bank*cf) / depth)``.
+    """
+
+    name: str = "fig2_local_write"
+    figure: str = "Figure 2"
+    title: str = "Local write latency vs array size and stride (T3D)"
+    target_mape: float = 5.0
+    feature_names: tuple = ("size", "stride")
+    param_specs: tuple = (
+        ParamSpec("issue", 2.0, 5.0, description="write-buffer issue"),
+        ParamSpec("drain", 15.0, 30.0,
+                  description="page-hit DRAM drain per entry"),
+        ParamSpec("off_page", 5.0, 15.0, description="row-miss penalty"),
+        ParamSpec("same_bank", 5.0, 15.0,
+                  description="bank-conflict penalty"),
+    )
+
+    def tasks(self, quick: bool = False):
+        hi = 128 * KB if quick else 512 * KB
+        return _stride_tasks("local_write", default_sizes(hi=hi))
+
+    def observations(self, results, quick: bool = False):
+        return _stride_points(results)
+
+    def predict(self, params, machine, point):
+        size, stride = point["size"], point["stride"]
+        line = machine.node.l1.line_bytes
+        naccesses = capped_accesses(size, stride)
+        if stride < line or naccesses <= machine.node.write_buffer.entries:
+            # Sub-line strides merge; tiny passes re-merge their own
+            # wrapped lines, so the buffer never fills and never
+            # stalls — the drain stays fully hidden either way.
+            return params["issue"]
+        interleave, banks = _dram_geometry(machine)
+        rm, cf = sawtooth_fractions(naccesses, stride, interleave, banks)
+        drain = (params["drain"] + params["off_page"] * rm
+                 + params["same_bank"] * cf)
+        return max(params["issue"],
+                   drain / machine.node.write_buffer.entries)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: remote read latency (uncached / cached / Split-C)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig4RemoteReadModel(AnalyticModel):
+    """Remote read cost to an adjacent node, three mechanisms.
+
+    Uncached reads pay a flat shell+network+target-DRAM cost plus the
+    target's sawtooth penalties every access; the Split-C read is the
+    same plus its bounds/annex bookkeeping.  Cached reads fetch whole
+    lines (leader fraction) while followers hit the local snapshot —
+    until the footprint exceeds L1 reach nothing misses at all.
+    """
+
+    name: str = "fig4_remote_read"
+    figure: str = "Figure 4"
+    title: str = "Remote read latency (uncached, cached, Split-C)"
+    target_mape: float = 5.0
+    feature_names: tuple = ("mechanism", "size", "stride")
+    param_specs: tuple = (
+        ParamSpec("uncached_base", 80.0, 100.0,
+                  description="shell + network + page-hit target DRAM"),
+        ParamSpec("cached_base", 100.0, 130.0,
+                  description="line-fill cost over an uncached read"),
+        ParamSpec("off_page", 10.0, 20.0,
+                  description="remote row-miss penalty"),
+        ParamSpec("same_bank", 5.0, 15.0,
+                  description="target bank-conflict penalty"),
+        ParamSpec("hit", 0.5, 2.0, description="local snapshot hit"),
+        ParamSpec("splitc_extra", 20.0, 45.0,
+                  description="Split-C annex update + checks per read"),
+    )
+
+    def tasks(self, quick: bool = False):
+        sizes = [64 * KB] if quick else [16 * KB, 64 * KB, 256 * KB]
+        return [task for mech in ("uncached", "cached", "splitc")
+                for task in _stride_tasks("remote_read", sizes,
+                                          mechanism=mech)]
+
+    def observations(self, results, quick: bool = False):
+        nsizes = 1 if quick else 3
+        points = []
+        for i, mech in enumerate(("uncached", "cached", "splitc")):
+            shard = results[i * nsizes:(i + 1) * nsizes]
+            points += _stride_points(shard, extra=(("mechanism", mech),))
+        return points
+
+    def predict(self, params, machine, point):
+        mech = point["mechanism"]
+        size, stride = point["size"], point["stride"]
+        naccesses = capped_accesses(size, stride)
+        interleave, banks = _dram_geometry(machine)
+        if mech in ("uncached", "splitc"):
+            rm, cf = sawtooth_fractions(naccesses, stride,
+                                        interleave, banks)
+            cost = (params["uncached_base"] + params["off_page"] * rm
+                    + params["same_bank"] * cf)
+            if mech == "splitc":
+                cost += params["splitc_extra"]
+            return cost
+        l1 = machine.node.l1
+        footprint = naccesses * stride
+        if footprint <= l1.size_bytes:
+            return params["hit"]
+        frac, leader_stride = leader_fraction(stride, l1.line_bytes)
+        rm, cf = sawtooth_fractions(footprint // leader_stride,
+                                    leader_stride, interleave, banks)
+        leader = (params["cached_base"] + params["off_page"] * rm
+                  + params["same_bank"] * cf)
+        return frac * leader + (1.0 - frac) * params["hit"]
+
+
+# ----------------------------------------------------------------------
+# Figure 5: acknowledged remote write latency
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig5RemoteWriteModel(AnalyticModel):
+    """Blocking remote write: store + barrier + ack poll, per access.
+
+    Exactly linear in the target sawtooth indicators — the off-page
+    penalty is paid 1.25x (once in the drain, once in the commit, the
+    drain pipelined over the buffer depth):
+    ``avg = base + rm_coeff*rm + cf_coeff*cf`` (+ Split-C overhead).
+    """
+
+    name: str = "fig5_remote_write"
+    figure: str = "Figure 5"
+    title: str = "Acknowledged remote write latency (raw, Split-C)"
+    target_mape: float = 5.0
+    feature_names: tuple = ("mechanism", "size", "stride")
+    param_specs: tuple = (
+        ParamSpec("base", 115.0, 150.0,
+                  description="store + barrier + flight + ack + poll"),
+        ParamSpec("rm_coeff", 12.0, 25.0,
+                  description="per-access row-miss cost (drain + commit)"),
+        ParamSpec("cf_coeff", 6.0, 18.0,
+                  description="per-access bank-conflict cost"),
+        ParamSpec("splitc_extra", 0.0, 30.0,
+                  description="Split-C write-path overhead"),
+    )
+
+    def tasks(self, quick: bool = False):
+        sizes = [64 * KB] if quick else [16 * KB, 64 * KB, 256 * KB]
+        return [task for mech in ("blocking", "splitc")
+                for task in _stride_tasks("remote_write", sizes,
+                                          mechanism=mech)]
+
+    def observations(self, results, quick: bool = False):
+        nsizes = 1 if quick else 3
+        points = []
+        for i, mech in enumerate(("blocking", "splitc")):
+            shard = results[i * nsizes:(i + 1) * nsizes]
+            points += _stride_points(shard, extra=(("mechanism", mech),))
+        return points
+
+    def predict(self, params, machine, point):
+        size, stride = point["size"], point["stride"]
+        naccesses = capped_accesses(size, stride)
+        interleave, banks = _dram_geometry(machine)
+        rm, cf = sawtooth_fractions(naccesses, stride, interleave, banks)
+        cost = (params["base"] + params["rm_coeff"] * rm
+                + params["cf_coeff"] * cf)
+        if point["mechanism"] == "splitc":
+            cost += params["splitc_extra"]
+        return cost
+
+
+# ----------------------------------------------------------------------
+# Figure 7: non-blocking store latency
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig7NonblockingStoreModel(AnalyticModel):
+    """Non-blocking store cost in steady state: drain-rate limited.
+
+    Sub-line strides merge (``f`` entries per store); each entry's
+    drain feels the target DRAM through a *peek* whose view lags the
+    stream by the buffer depth, so row misses and conflicts follow the
+    lagged sawtooth (:func:`~repro.models.forms.peek_lag_fractions`).
+    Per access: ``max(cpu, f * interval)`` with the three-atom drain
+    mixture (hit / row miss / row miss + conflict) applied atom-wise —
+    the Split-C put adds CPU work per access, which can lift the CPU
+    term above the drain interval at page-friendly strides.
+    """
+
+    name: str = "fig7_nonblocking_store"
+    figure: str = "Figure 7"
+    title: str = "Non-blocking remote store latency (raw, Split-C put)"
+    target_mape: float = 5.0
+    feature_names: tuple = ("mechanism", "size", "stride")
+    param_specs: tuple = (
+        ParamSpec("issue", 2.0, 5.0, description="write-buffer issue"),
+        ParamSpec("drain", 55.0, 80.0,
+                  description="chip handoff + injection per entry"),
+        ParamSpec("rm_coeff", 10.0, 20.0,
+                  description="peeked row-miss drain penalty"),
+        ParamSpec("cf_coeff", 5.0, 15.0,
+                  description="peeked bank-conflict drain penalty"),
+        ParamSpec("put_extra", 35.0, 50.0,
+                  description="Split-C put CPU overhead per access "
+                              "(annex update + put bookkeeping)"),
+    )
+
+    def tasks(self, quick: bool = False):
+        sizes = [64 * KB] if quick else [16 * KB, 64 * KB, 256 * KB]
+        return [task for mech in ("store", "splitc")
+                for task in _stride_tasks("nonblocking_write", sizes,
+                                          mechanism=mech)]
+
+    def observations(self, results, quick: bool = False):
+        nsizes = 1 if quick else 3
+        points = []
+        for i, mech in enumerate(("store", "splitc")):
+            shard = results[i * nsizes:(i + 1) * nsizes]
+            points += _stride_points(shard, extra=(("mechanism", mech),))
+        return points
+
+    def predict(self, params, machine, point):
+        size, stride = point["size"], point["stride"]
+        line = machine.node.l1.line_bytes
+        depth = machine.node.write_buffer.entries
+        naccesses = capped_accesses(size, stride)
+        footprint = naccesses * stride
+        frac, entry_stride = leader_fraction(stride, line)
+        interleave, banks = _dram_geometry(machine)
+        cpu = params["issue"]
+        if point["mechanism"] == "splitc":
+            cpu += params["put_extra"]
+        if footprint // entry_stride <= depth:
+            # Few enough distinct lines that wrapped passes merge into
+            # still-pending entries: the buffer never fills, drains
+            # stay hidden, only the CPU-side cost shows.
+            return cpu
+        pm, pc = peek_lag_fractions(footprint // entry_stride,
+                                    entry_stride, interleave, banks,
+                                    depth=depth)
+        # Three-atom mixture over entry drains, each atom saturating
+        # (or not) against the CPU time spent per entry period.
+        atoms = ((1.0 - pm, params["drain"]),
+                 (pm - pc, params["drain"] + params["rm_coeff"]),
+                 (pc, params["drain"] + params["rm_coeff"]
+                  + params["cf_coeff"]))
+        per_entry_cpu = cpu / frac
+        avg_entry = sum(p * max(per_entry_cpu, drain / depth)
+                        for p, drain in atoms if p > 0.0)
+        return frac * avg_entry
+
+
+# ----------------------------------------------------------------------
+# Figure 8: bulk transfer bandwidth
+# ----------------------------------------------------------------------
+
+READ_SIZES = (8, 32, 128, 512, 2 * KB, 8 * KB, 32 * KB, 128 * KB)
+WRITE_SIZES = READ_SIZES[1:]
+
+
+@dataclass
+class Fig8BulkBandwidthModel(AnalyticModel):
+    """Bulk bandwidth per mechanism: affine cycle costs in words,
+    inverted into the figure's MB/s domain.
+
+    Reads: per-word uncached loop; cached line fills with per-line
+    invalidates below the batch-flush threshold and one whole-cache
+    flush above it; the prefetch pipeline (window-limited startup,
+    then a flat per-word service rate); and the BLT's huge startup
+    plus the best streaming rate.  Writes: merging non-blocking
+    stores (source-read limited) and the BLT.  The Split-C rows are
+    the dispatcher choosing among exactly these mechanisms at the
+    plan crossovers, so they share parameters.
+    """
+
+    name: str = "fig8_bulk_bandwidth"
+    figure: str = "Figure 8"
+    title: str = "Bulk transfer bandwidth vs size, all mechanisms"
+    units: str = "MB/s"
+    target_mape: float = 5.0
+    feature_names: tuple = ("direction", "mechanism", "nbytes")
+    param_specs: tuple = (
+        ParamSpec("ur_base", 0.0, 400.0,
+                  description="uncached-read loop startup"),
+        ParamSpec("ur_word", 85.0, 110.0,
+                  description="uncached-read cost per word"),
+        ParamSpec("cr_base", 0.0, 400.0,
+                  description="cached-read startup (per-line flush tier)"),
+        ParamSpec("cr_line", 100.0, 180.0,
+                  description="cached line fill + invalidate"),
+        ParamSpec("cr_word", 4.0, 12.0,
+                  description="cached per-word copy-out"),
+        ParamSpec("cr_flush_base", 800.0, 1400.0,
+                  description="whole-cache flush (batch tier)"),
+        ParamSpec("cr_batch_line", 100.0, 180.0,
+                  description="cached line cost in the batch tier"),
+        ParamSpec("pf_base", 70.0, 130.0,
+                  description="prefetch pipeline exposed startup"),
+        ParamSpec("pf_word", 24.0, 34.0,
+                  description="prefetch pop-side service per word"),
+        ParamSpec("pf_issue", 3.0, 5.0,
+                  description="prefetch issue beyond the window"),
+        ParamSpec("bltr_base", 20000.0, 35000.0,
+                  description="BLT read startup"),
+        ParamSpec("bltr_word", 7.0, 10.0,
+                  description="BLT read per word"),
+        ParamSpec("sw_base", 50.0, 500.0,
+                  description="store-stream drain/ack tail"),
+        ParamSpec("sw_word", 10.0, 16.0,
+                  description="store-stream cost per word"),
+        ParamSpec("bltw_base", 20000.0, 35000.0,
+                  description="BLT write startup"),
+        ParamSpec("bltw_word", 11.0, 17.0,
+                  description="BLT write per word"),
+    )
+
+    def tasks(self, quick: bool = False):
+        rs = READ_SIZES[:6] if quick else READ_SIZES
+        ws = WRITE_SIZES[:5] if quick else WRITE_SIZES
+        tasks = [BulkBandwidthTask(direction="read", mechanism=mech,
+                                   sizes=tuple(rs))
+                 for mech in ("uncached", "cached", "prefetch", "blt",
+                              "splitc")]
+        tasks += [BulkBandwidthTask(direction="write", mechanism=mech,
+                                    sizes=tuple(ws))
+                  for mech in ("stores", "blt", "splitc")]
+        return tasks
+
+    def observations(self, results, quick: bool = False):
+        points = []
+        directions = ["read"] * 5 + ["write"] * 3
+        for direction, shard in zip(directions, results):
+            for bp in shard:
+                points.append(CalPoint(
+                    features=(("direction", direction),
+                              ("mechanism", bp.mechanism),
+                              ("nbytes", bp.nbytes)),
+                    observed=bp.mb_per_s))
+        return points
+
+    # -- cycle forms ---------------------------------------------------
+
+    def _cycles(self, params, machine, direction, mechanism, nbytes):
+        words = words_in(nbytes)
+        line_words = machine.node.l1.line_bytes // 8
+        lines = -(-words // line_words)
+        if direction == "read":
+            if mechanism == "splitc":
+                # The dispatcher's crossovers (section 6.3).
+                if nbytes <= 8:
+                    mechanism = "uncached"
+                elif nbytes >= 16 * KB:
+                    mechanism = "blt"
+                else:
+                    mechanism = "prefetch"
+            if mechanism == "uncached":
+                return params["ur_base"] + params["ur_word"] * words
+            if mechanism == "cached":
+                if nbytes >= 8 * KB:
+                    return (params["cr_flush_base"]
+                            + params["cr_batch_line"] * lines)
+                return (params["cr_base"] + params["cr_line"] * lines
+                        + params["cr_word"] * words)
+            if mechanism == "prefetch":
+                window = machine.shell.prefetch.queue_depth
+                return (params["pf_base"] + params["pf_word"] * words
+                        + params["pf_issue"] * max(0, words - window))
+            if mechanism == "blt":
+                return params["bltr_base"] + params["bltr_word"] * words
+        else:
+            if mechanism in ("stores", "splitc"):
+                return params["sw_base"] + params["sw_word"] * words
+            if mechanism == "blt":
+                return params["bltw_base"] + params["bltw_word"] * words
+        raise ValueError(
+            f"unknown bulk mechanism {direction}/{mechanism}")
+
+    def predict(self, params, machine, point):
+        cycles = self._cycles(params, machine, point["direction"],
+                              point["mechanism"], point["nbytes"])
+        return cycles_to_mbps(point["nbytes"], cycles)
+
+    # -- analytic seed -------------------------------------------------
+
+    def seed_params(self, points):
+        by_mech: dict[tuple, list] = {}
+        for p in points:
+            f = p.as_dict
+            cycles = mbps_to_cycles(f["nbytes"], p.observed)
+            by_mech.setdefault((f["direction"], f["mechanism"]),
+                               []).append((f["nbytes"], cycles))
+        seeds = self.default_params()
+
+        def affine(direction, mech, base_key, slope_key, per=8,
+                   subset=None):
+            data = by_mech.get((direction, mech), [])
+            if subset is not None:
+                data = [d for d in data if subset(d[0])]
+            if len(data) >= 2:
+                a, b = affine_fit([n // per for n, _ in data],
+                                  [c for _, c in data])
+                seeds[base_key] = a
+                seeds[slope_key] = b
+
+        affine("read", "uncached", "ur_base", "ur_word")
+        affine("read", "blt", "bltr_base", "bltr_word")
+        affine("write", "blt", "bltw_base", "bltw_word")
+        affine("write", "stores", "sw_base", "sw_word")
+        affine("read", "cached", "cr_flush_base", "cr_batch_line",
+               per=32, subset=lambda n: n >= 8 * KB)
+        # Cached per-line tier: solve the line/word split from the
+        # aligned points (words = 4*lines) plus the one-word point.
+        lo = sorted(d for d in by_mech.get(("read", "cached"), [])
+                    if d[0] < 8 * KB)
+        lo_aligned = [d for d in lo if d[0] >= 32]
+        if len(lo_aligned) >= 2:
+            a, combo = affine_fit([n // 32 for n, _ in lo_aligned],
+                                  [c for _, c in lo_aligned])
+            seeds["cr_base"] = a
+            one = [c for n, c in lo if n == 8]
+            if one:
+                short = one[0] - a            # cr_line + cr_word
+                seeds["cr_word"] = max((combo - short) / 3.0, 0.0)
+                seeds["cr_line"] = short - seeds["cr_word"]
+            else:
+                seeds["cr_line"] = combo - 4.0 * seeds["cr_word"]
+        # Prefetch: affine beyond the window, then unfold the issue
+        # term (slope above the window is pf_word + pf_issue).
+        window = self.machine.shell.prefetch.queue_depth
+        pf = [d for d in by_mech.get(("read", "prefetch"), [])
+              if d[0] // 8 > window]
+        if len(pf) >= 2:
+            a, b = affine_fit([n // 8 for n, _ in pf],
+                              [c for _, c in pf])
+            seeds["pf_word"] = b - seeds["pf_issue"]
+            seeds["pf_base"] = a + seeds["pf_issue"] * window
+        return seeds
+
+
+# ----------------------------------------------------------------------
+# Figure 9: EM3D scaling with remote fraction
+# ----------------------------------------------------------------------
+
+EM3D_VERSIONS = ("simple", "bundle", "unroll", "get", "put", "bulk",
+                 "msg")
+EM3D_FRACTIONS = (0.0, 0.1, 0.2, 0.35, 0.5)
+
+
+@dataclass
+class Em3dScalingModel(AnalyticModel):
+    """EM3D microseconds per edge vs realized remote fraction.
+
+    Per program version an affine law ``us = local + remote_cost *
+    fraction``: every edge pays the version's local work, and the
+    remote fraction of edges pays that version's communication cost.
+    Batching versions (bulk, msg) amortize unevenly, so the gate is
+    looser than the microbenchmark curves'.
+    """
+
+    name: str = "em3d_scaling"
+    figure: str = "Figure 9"
+    title: str = "EM3D us/edge vs remote fraction, all versions"
+    units: str = "us/edge"
+    target_mape: float = 10.0
+    feature_names: tuple = ("version", "fraction")
+    param_specs: tuple = tuple(
+        spec
+        for version in EM3D_VERSIONS
+        for spec in (
+            ParamSpec(f"{version}_local", 0.0, 3.0, units="us",
+                      description=f"{version}: local work per edge"),
+            ParamSpec(f"{version}_remote", 0.0, 20.0, units="us",
+                      description=f"{version}: remote cost per remote "
+                                  f"edge"),
+        ))
+
+    def tasks(self, quick: bool = False):
+        nodes, degree = (60, 5) if quick else (200, 10)
+        return [Em3dSweepTask(version=version, fraction=fraction,
+                              nodes_per_pe=nodes, degree=degree)
+                for fraction in EM3D_FRACTIONS
+                for version in EM3D_VERSIONS]
+
+    def observations(self, results, quick: bool = False):
+        return [CalPoint(features=(("version", p.version),
+                                   ("fraction", p.realized_fraction)),
+                         observed=p.us_per_edge)
+                for p in results]
+
+    def predict(self, params, machine, point):
+        version = point["version"]
+        return (params[f"{version}_local"]
+                + params[f"{version}_remote"] * point["fraction"])
+
+    def seed_params(self, points):
+        seeds = self.default_params()
+        by_version: dict[str, list] = {}
+        for p in points:
+            f = p.as_dict
+            by_version.setdefault(f["version"], []).append(
+                (f["fraction"], p.observed))
+        for version, data in by_version.items():
+            if len(data) >= 2:
+                a, b = affine_fit([x for x, _ in data],
+                                  [y for _, y in data])
+                seeds[f"{version}_local"] = max(a, 0.0)
+                seeds[f"{version}_remote"] = max(b, 0.0)
+        return seeds

@@ -1,0 +1,161 @@
+"""Shared closed-form building blocks for the analytic models.
+
+Everything here is derived from the simulator's *structural* rules
+(direct-mapped cache indexing, DRAM bank interleaving, write-buffer
+depth), not from fitted data — the calibrator only fits the latency
+*coefficients* that multiply these terms.
+
+The central object is the **ascending stride sawtooth**: every stride
+probe touches addresses ``0, s, 2s, ...`` wrapping at the footprint,
+with one warmup pass before measurement.  Against the T3D's
+bank-interleaved page-mode DRAM (16 KB chunks round-robined over four
+banks; see :mod:`repro.node.dram`) the steady-state row-miss and
+bank-conflict *counts per pass* have exact closed forms, computed here
+combinatorially in O(1):
+
+* ``stride <= interleave``: the stream climbs through ``C =
+  footprint // interleave`` chunks, banks rotating ``0,1,2,3,...``.
+  Each bank holds ``C / banks`` distinct rows; with two or more rows
+  per bank (``C >= 2*banks``) every chunk-leading access misses its
+  row (``C`` misses per pass), otherwise each bank's single row stays
+  open and nothing misses.  Consecutive accesses never share a bank,
+  so same-bank conflicts are zero.
+* ``stride > interleave``: the bank index advances by ``m = stride //
+  interleave`` per access, visiting ``B = banks / gcd(m, banks)``
+  distinct banks.  With at least two rows per visited bank every
+  access misses; conflicts additionally require consecutive accesses
+  on one bank, i.e. ``B == 1`` (stride a multiple of ``banks *
+  interleave``).
+
+The write-buffer variant (:func:`peek_lag_fractions`) models Figure
+7's drain-cost *peek*: the drain charge for entry ``k`` reads DRAM
+state as left by the commit of entry ``k - depth`` (the buffer holds
+``depth`` entries), which converts some chunk-interior accesses into
+false row misses and makes wide-stride peeks conflict on every entry
+(``bank(k - depth) == bank(k)`` whenever ``banks`` divides
+``depth * m``).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.params import CYCLE_NS, WORD_BYTES
+
+__all__ = [
+    "affine_fit",
+    "capped_accesses",
+    "cycles_to_mbps",
+    "leader_fraction",
+    "mbps_to_cycles",
+    "peek_lag_fractions",
+    "sawtooth_fractions",
+    "words_in",
+]
+
+
+def capped_accesses(size_bytes: int, stride_bytes: int,
+                    max_accesses: int = 4096,
+                    min_footprint: int = 0) -> int:
+    """Accesses per pass for a stride probe — mirrors
+    :func:`repro.microbench.harness.stride_point_specs` exactly."""
+    naccesses = -(-size_bytes // stride_bytes)
+    cap = max_accesses
+    if min_footprint:
+        cap = max(cap, -(-min_footprint // stride_bytes))
+    return max(1, min(naccesses, cap))
+
+
+def sawtooth_fractions(naccesses: int, stride_bytes: int,
+                       interleave_bytes: int, banks: int):
+    """Steady-state per-access (row-miss, bank-conflict) fractions for
+    an ascending stride stream hitting page-mode interleaved DRAM."""
+    if naccesses <= 0:
+        return 0.0, 0.0
+    footprint = naccesses * stride_bytes
+    if stride_bytes <= interleave_bytes:
+        chunks = footprint // interleave_bytes
+        if chunks >= 2 * banks:
+            return chunks / naccesses, 0.0
+        return 0.0, 0.0
+    step = stride_bytes // interleave_bytes
+    visited = banks // gcd(step, banks)
+    if naccesses // visited >= 2:
+        return 1.0, 1.0 if visited == 1 else 0.0
+    return 0.0, 0.0
+
+
+def peek_lag_fractions(nentries: int, stride_bytes: int,
+                       interleave_bytes: int, banks: int,
+                       depth: int = 4):
+    """Per-entry (row-miss, bank-conflict) fractions as seen by the
+    write buffer's drain-cost peek, whose view of DRAM lags the entry
+    stream by ``depth`` commits."""
+    if nentries <= 0:
+        return 0.0, 0.0
+    footprint = nentries * stride_bytes
+    if stride_bytes <= interleave_bytes:
+        chunks = footprint // interleave_bytes
+        if chunks >= 2 * banks:
+            per_chunk = interleave_bytes // stride_bytes
+            # The chunk-leading entry misses for real; the next
+            # min(depth-1, per_chunk-1) entries peek a stale row.
+            false_misses = min(depth - 1, per_chunk - 1)
+            return min(1.0, chunks * (1 + false_misses) / nentries), 0.0
+        return 0.0, 0.0
+    step = stride_bytes // interleave_bytes
+    visited = banks // gcd(step, banks)
+    if nentries // visited >= 2:
+        # bank(k - depth) == bank(k) whenever banks divides depth*step;
+        # with depth a multiple of banks this always holds.
+        conflict = 1.0 if (depth * step) % banks == 0 else 0.0
+        return 1.0, conflict
+    return 0.0, 0.0
+
+
+def leader_fraction(stride_bytes: int, line_bytes: int):
+    """Split a stride stream into cache-line *leaders* (one per touched
+    line) and followers.  Returns ``(fraction, leader_stride)`` — for
+    sub-line strides only ``stride/line`` of accesses touch a new
+    line, and the leader stream advances one line at a time."""
+    if stride_bytes >= line_bytes:
+        return 1.0, stride_bytes
+    return stride_bytes / line_bytes, line_bytes
+
+
+def words_in(nbytes: int) -> int:
+    """Whole 8-byte words in a transfer (minimum one)."""
+    return max(1, nbytes // WORD_BYTES)
+
+
+def cycles_to_mbps(nbytes: int, cycles: float) -> float:
+    """Figure 8's bandwidth domain — inverse of
+    :func:`repro.params.mb_per_s`."""
+    if cycles <= 0.0:
+        return 0.0
+    return nbytes / (cycles * CYCLE_NS * 1e-9) / 1e6
+
+
+def mbps_to_cycles(nbytes: int, mbps: float) -> float:
+    if mbps <= 0.0:
+        return 0.0
+    return nbytes / (mbps * 1e6) / (CYCLE_NS * 1e-9)
+
+
+def affine_fit(xs, ys):
+    """Least-squares ``y = intercept + slope * x`` (the analytic seed
+    for every affine model).  Degenerate inputs fall back to a flat
+    line through the mean."""
+    xs = list(xs)
+    ys = list(ys)
+    n = len(xs)
+    if n == 0:
+        return 0.0, 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        return mean_y, 0.0
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(xs, ys)) / sxx
+    return mean_y - slope * mean_x, slope

@@ -1,0 +1,327 @@
+"""Closed-form models of the shell primitives.
+
+One model per data-movement primitive the shell offers: local
+read/write, remote read/write, the prefetch queue, the BLT, and the
+dispatched Split-C bulk transfer.  Where a primitive *is* a figure
+curve (local reads are Figure 1) the primitive model reuses the same
+task shards over a reduced grid — the executor's result cache
+deduplicates the overlap, so fitting both costs one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import AnalyticModel, CalPoint, ParamSpec
+from repro.models.figures import (
+    Fig1LocalReadModel,
+    Fig2LocalWriteModel,
+    Fig5RemoteWriteModel,
+    READ_SIZES,
+    WRITE_SIZES,
+    _stride_tasks,
+    _stride_points,
+)
+from repro.models.forms import (
+    affine_fit,
+    cycles_to_mbps,
+    mbps_to_cycles,
+    words_in,
+)
+from repro.parallel.tasks import BulkBandwidthTask, GroupProbeTask, HopProbeTask
+
+__all__ = [
+    "BltModel",
+    "BulkTransferModel",
+    "LocalReadModel",
+    "LocalWriteModel",
+    "PrefetchModel",
+    "RemoteReadModel",
+    "RemoteWriteModel",
+]
+
+KB = 1024
+
+
+@dataclass
+class LocalReadModel(Fig1LocalReadModel):
+    """The local-read primitive: Figure 1's closed form fit over a
+    three-size slice of the sweep (shards shared with the figure
+    model through the result cache)."""
+
+    name: str = "local_read"
+    figure: str = "Section 2.2"
+    title: str = "Local read primitive (cache/DRAM sawtooth)"
+
+    def tasks(self, quick: bool = False):
+        sizes = [8 * KB, 64 * KB] if quick else [8 * KB, 64 * KB,
+                                                 512 * KB]
+        return _stride_tasks("local_read", sizes)
+
+
+@dataclass
+class LocalWriteModel(Fig2LocalWriteModel):
+    """The local-write primitive: Figure 2's write-buffer form over a
+    reduced grid."""
+
+    name: str = "local_write"
+    figure: str = "Section 2.2"
+    title: str = "Local write primitive (write-buffer drain)"
+
+    def tasks(self, quick: bool = False):
+        sizes = [8 * KB, 64 * KB] if quick else [8 * KB, 64 * KB,
+                                                 256 * KB]
+        return _stride_tasks("local_write", sizes)
+
+
+@dataclass
+class RemoteReadModel(AnalyticModel):
+    """Remote read latency vs network distance (section 4.2).
+
+    ``cycles = base + per_hop * hops`` — the shell round trip plus
+    two network traversals whose per-hop cost the fit recovers.
+    """
+
+    name: str = "remote_read"
+    figure: str = "Section 4.2"
+    title: str = "Remote uncached read vs hop count"
+    feature_names: tuple = ("hops",)
+    param_specs: tuple = (
+        ParamSpec("base", 70.0, 110.0,
+                  description="shell + target DRAM, distance-free part"),
+        ParamSpec("per_hop", 2.0, 10.0,
+                  description="added round-trip cost per hop"),
+    )
+
+    def tasks(self, quick: bool = False):
+        return [HopProbeTask(shape=(4, 1, 1) if quick else (8, 1, 1))]
+
+    def observations(self, results, quick: bool = False):
+        return [CalPoint(features=(("hops", hops),), observed=cycles)
+                for hops, cycles in results[0]]
+
+    def predict(self, params, machine, point):
+        return params["base"] + params["per_hop"] * point["hops"]
+
+    def seed_params(self, points):
+        seeds = self.default_params()
+        if len(points) >= 2:
+            a, b = affine_fit([p.as_dict["hops"] for p in points],
+                              [p.observed for p in points])
+            seeds["base"], seeds["per_hop"] = a, b
+        return seeds
+
+
+@dataclass
+class RemoteWriteModel(Fig5RemoteWriteModel):
+    """The acknowledged remote-write primitive: Figure 5's linear
+    sawtooth law fit at a single array size (raw mechanism only)."""
+
+    name: str = "remote_write"
+    figure: str = "Section 4.3"
+    title: str = "Acknowledged remote write primitive"
+
+    def tasks(self, quick: bool = False):
+        return _stride_tasks("remote_write", [64 * KB],
+                             mechanism="blocking")
+
+    def observations(self, results, quick: bool = False):
+        return _stride_points(results,
+                              extra=(("mechanism", "blocking"),))
+
+
+@dataclass
+class PrefetchModel(AnalyticModel):
+    """Prefetch-queue group cost (Figure 6 / section 5.2).
+
+    Per element of a group of ``g``: the pipelined service cost, plus
+    the exposed round trip not hidden behind the group's issues, plus
+    the barrier small groups need before popping:
+    ``per_elem + (barrier*I + max(0, exposed - issue*g - barrier*I))/g``
+    with ``I = 1`` when ``0 < g < depth/4``-style threshold (from the
+    machine's barrier rule).
+    """
+
+    name: str = "prefetch"
+    figure: str = "Figure 6"
+    title: str = "Prefetch group cost per element"
+    feature_names: tuple = ("group",)
+    param_specs: tuple = (
+        ParamSpec("per_elem", 25.0, 35.0,
+                  description="issue + pop + store per element"),
+        ParamSpec("exposed", 70.0, 100.0,
+                  description="exposed first-word round trip"),
+        ParamSpec("issue", 3.0, 5.0,
+                  description="issue cost overlapped per element"),
+        ParamSpec("barrier", 3.0, 6.0,
+                  description="pre-pop barrier for small groups"),
+    )
+
+    def tasks(self, quick: bool = False):
+        groups = (1, 2, 4, 16) if quick else (1, 2, 4, 8, 16)
+        return [GroupProbeTask(groups=groups)]
+
+    def observations(self, results, quick: bool = False):
+        return [CalPoint(features=(("group", group),), observed=cost)
+                for group, cost in results[0]]
+
+    def predict(self, params, machine, point):
+        group = point["group"]
+        threshold = machine.shell.prefetch.small_group_barrier_threshold
+        barrier = params["barrier"] if 0 < group < threshold else 0.0
+        exposed = max(0.0, params["exposed"] - params["issue"] * group
+                      - barrier)
+        return params["per_elem"] + (exposed + barrier) / group
+
+
+@dataclass
+class BltModel(AnalyticModel):
+    """The block-transfer engine: startup plus a per-word streaming
+    rate, each direction (section 6.1)."""
+
+    name: str = "blt"
+    figure: str = "Section 6.1"
+    title: str = "BLT bulk transfer (startup + per-word rate)"
+    units: str = "MB/s"
+    feature_names: tuple = ("direction", "nbytes")
+    param_specs: tuple = (
+        ParamSpec("read_startup", 20000.0, 35000.0,
+                  description="BLT read setup (descriptor + engine)"),
+        ParamSpec("read_word", 7.0, 10.0,
+                  description="BLT read streaming cost per word"),
+        ParamSpec("write_startup", 20000.0, 35000.0,
+                  description="BLT write setup"),
+        ParamSpec("write_word", 11.0, 17.0,
+                  description="BLT write streaming cost per word"),
+    )
+
+    def tasks(self, quick: bool = False):
+        rs = READ_SIZES[:6] if quick else READ_SIZES
+        ws = WRITE_SIZES[:5] if quick else WRITE_SIZES
+        return [BulkBandwidthTask(direction="read", mechanism="blt",
+                                  sizes=tuple(rs)),
+                BulkBandwidthTask(direction="write", mechanism="blt",
+                                  sizes=tuple(ws))]
+
+    def observations(self, results, quick: bool = False):
+        points = []
+        for direction, shard in zip(("read", "write"), results):
+            points += [CalPoint(features=(("direction", direction),
+                                          ("nbytes", bp.nbytes)),
+                                observed=bp.mb_per_s)
+                       for bp in shard]
+        return points
+
+    def predict(self, params, machine, point):
+        words = words_in(point["nbytes"])
+        if point["direction"] == "read":
+            cycles = params["read_startup"] + params["read_word"] * words
+        else:
+            cycles = params["write_startup"] + params["write_word"] * words
+        return cycles_to_mbps(point["nbytes"], cycles)
+
+    def seed_params(self, points):
+        seeds = self.default_params()
+        for direction, (base_key, slope_key) in (
+                ("read", ("read_startup", "read_word")),
+                ("write", ("write_startup", "write_word"))):
+            data = [(words_in(p.as_dict["nbytes"]),
+                     mbps_to_cycles(p.as_dict["nbytes"], p.observed))
+                    for p in points
+                    if p.as_dict["direction"] == direction]
+            if len(data) >= 2:
+                a, b = affine_fit([w for w, _ in data],
+                                  [c for _, c in data])
+                seeds[base_key], seeds[slope_key] = a, b
+        return seeds
+
+
+@dataclass
+class BulkTransferModel(AnalyticModel):
+    """The dispatched Split-C bulk transfer (section 6.3): what one
+    ``bulk_read``/``bulk_write`` call costs at any size, following the
+    compiler plan's mechanism crossovers."""
+
+    name: str = "bulk_transfer"
+    figure: str = "Section 6.3"
+    title: str = "Split-C bulk transfer (dispatched) bandwidth"
+    units: str = "MB/s"
+    feature_names: tuple = ("direction", "nbytes")
+    param_specs: tuple = (
+        ParamSpec("single_read", 90.0, 140.0,
+                  description="one-word transfer (uncached read tier)"),
+        ParamSpec("pf_base", 70.0, 130.0,
+                  description="prefetch tier exposed startup"),
+        ParamSpec("pf_word", 24.0, 38.0,
+                  description="prefetch tier per-word service"),
+        ParamSpec("blt_base", 20000.0, 35000.0,
+                  description="BLT tier startup"),
+        ParamSpec("blt_word", 7.0, 10.0,
+                  description="BLT tier per-word rate"),
+        ParamSpec("write_base", 50.0, 500.0,
+                  description="store-stream drain/ack tail"),
+        ParamSpec("write_word", 10.0, 16.0,
+                  description="store-stream cost per word"),
+    )
+
+    def tasks(self, quick: bool = False):
+        rs = READ_SIZES[:6] if quick else READ_SIZES
+        ws = WRITE_SIZES[:5] if quick else WRITE_SIZES
+        return [BulkBandwidthTask(direction="read", mechanism="splitc",
+                                  sizes=tuple(rs)),
+                BulkBandwidthTask(direction="write", mechanism="splitc",
+                                  sizes=tuple(ws))]
+
+    def observations(self, results, quick: bool = False):
+        points = []
+        for direction, shard in zip(("read", "write"), results):
+            points += [CalPoint(features=(("direction", direction),
+                                          ("nbytes", bp.nbytes)),
+                                observed=bp.mb_per_s)
+                       for bp in shard]
+        return points
+
+    def predict(self, params, machine, point):
+        nbytes = point["nbytes"]
+        words = words_in(nbytes)
+        if point["direction"] == "write":
+            cycles = params["write_base"] + params["write_word"] * words
+        elif nbytes <= 8:
+            cycles = params["single_read"] * words
+        elif nbytes >= 16 * KB:
+            cycles = params["blt_base"] + params["blt_word"] * words
+        else:
+            window = machine.shell.prefetch.queue_depth
+            cycles = (params["pf_base"] + params["pf_word"] * words
+                      + 4.0 * max(0, words - window))
+        return cycles_to_mbps(nbytes, cycles)
+
+    def seed_params(self, points):
+        seeds = self.default_params()
+        reads, writes, blts = [], [], []
+        for p in points:
+            f = p.as_dict
+            cycles = mbps_to_cycles(f["nbytes"], p.observed)
+            if f["direction"] == "write":
+                writes.append((words_in(f["nbytes"]), cycles))
+            elif f["nbytes"] <= 8:
+                seeds["single_read"] = cycles
+            elif f["nbytes"] >= 16 * KB:
+                blts.append((words_in(f["nbytes"]), cycles))
+            else:
+                reads.append((words_in(f["nbytes"]), cycles))
+        if len(writes) >= 2:
+            a, b = affine_fit([w for w, _ in writes],
+                              [c for _, c in writes])
+            seeds["write_base"], seeds["write_word"] = a, b
+        if len(blts) >= 2:
+            a, b = affine_fit([w for w, _ in blts],
+                              [c for _, c in blts])
+            seeds["blt_base"], seeds["blt_word"] = a, b
+        window = self.machine.shell.prefetch.queue_depth
+        big = [d for d in reads if d[0] > window]
+        if len(big) >= 2:
+            a, b = affine_fit([w for w, _ in big], [c for _, c in big])
+            seeds["pf_word"] = b - 4.0
+            seeds["pf_base"] = a + 4.0 * window
+        return seeds

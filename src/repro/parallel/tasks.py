@@ -29,6 +29,8 @@ __all__ = [
     "BulkBandwidthTask",
     "Em3dSweepTask",
     "ExperimentTask",
+    "GroupProbeTask",
+    "HopProbeTask",
     "StrideProbeTask",
     "em3d_sweep_tasks",
     "merge_curves",
@@ -134,6 +136,46 @@ def merge_points(point_lists) -> list:
     for points in point_lists:
         merged.extend(points)
     return merged
+
+
+# ----------------------------------------------------------------------
+# Scalar probes (Figure 6 groups, section 4.2 hop latency)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GroupProbeTask:
+    """Figure 6's prefetch group sweep: issue/pop in groups of each
+    requested size.  Returns plain ``(group, cycles_per_element)``
+    pairs (picklable without the probe's dataclass)."""
+
+    groups: tuple = (1, 2, 4, 8, 16)
+    repeats: int = 16
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.microbench import probes
+        costs = probes.prefetch_group_probe(groups=list(self.groups),
+                                            repeats=self.repeats)
+        return [(c.group, c.cycles_per_element) for c in costs]
+
+
+@dataclass(frozen=True)
+class HopProbeTask:
+    """Section 4.2's hop-latency sweep: one uncached read per network
+    distance on a ``shape``-sized torus.  Returns ``(hops, cycles)``
+    pairs."""
+
+    shape: tuple = (8, 1, 1)
+
+    def spec(self) -> dict:
+        return _spec(self)
+
+    def run(self):
+        from repro.microbench import probes
+        return [tuple(pair)
+                for pair in probes.network_hop_probe(tuple(self.shape))]
 
 
 # ----------------------------------------------------------------------

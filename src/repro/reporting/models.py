@@ -1,0 +1,166 @@
+"""Surrogate-model reporting: simulated-vs-predicted tables and the
+calibrate-check regression gate.
+
+Two consumers share this module.  ``repro models report`` renders the
+markdown record — a fit-summary table (model | figure | MAPE | target |
+status) plus a per-model simulated-vs-predicted table — from either a
+fresh calibration or the committed ``FITTED_MODELS.json``.  ``repro
+models report --check`` (behind ``make calibrate-check``) re-evaluates
+the *committed* parameters against *fresh* simulator observations: if a
+previously-green fit now misses its recorded gate, the simulator's
+behavior changed, which is exactly the drift signal component unit
+tests can miss.
+"""
+
+from __future__ import annotations
+
+from repro.models import (
+    REGISTRY,
+    artifact_results,
+    get_model,
+    load_artifact,
+)
+from repro.models.calibrate import FitResult, gather_observations
+
+__all__ = [
+    "check_artifact",
+    "fit_summary_table",
+    "generate_markdown",
+    "model_table",
+]
+
+#: Cap per-model table rows so the full report stays readable; the
+#: summary MAPE always covers every point regardless.
+MAX_TABLE_ROWS = 24
+
+
+def fit_summary_table(results) -> str:
+    """The summary table: one row per fitted model."""
+    lines = [
+        "| model | figure | units | points | MAPE | target | status |",
+        "|---|---|---|---:|---:|---:|---|",
+    ]
+    for result in results:
+        model = get_model(result.model)
+        status = "ok" if result.ok else "**MISS**"
+        lines.append(
+            f"| `{result.model}` | {model.figure} | {model.units} "
+            f"| {result.npoints} | {result.mape:.2f}% "
+            f"| {result.target_mape:.1f}% | {status} |")
+    return "\n".join(lines)
+
+
+def model_table(model, params: dict, points,
+                max_rows: int = MAX_TABLE_ROWS) -> str:
+    """One model's simulated-vs-predicted table (row-capped; the cap
+    is noted so a truncated table never reads as full coverage)."""
+    names = list(model.feature_names)
+    header = ("| " + " | ".join(names)
+              + f" | simulated | predicted | error |")
+    rule = "|" + "---|" * len(names) + "---:|---:|---:|"
+    lines = [header, rule]
+    shown = points[:max_rows]
+    for point in shown:
+        features = point.as_dict
+        predicted = model.predict(params, model.machine, features)
+        if point.observed:
+            err = 100.0 * abs(predicted - point.observed) / abs(
+                point.observed)
+            err_text = f"{err:.2f}%"
+        else:
+            err_text = "—"
+        cells = [str(features[n]) for n in names]
+        lines.append("| " + " | ".join(cells)
+                     + f" | {point.observed:.4g} | {predicted:.4g} "
+                     f"| {err_text} |")
+    if len(points) > len(shown):
+        lines.append(f"\n*({len(points) - len(shown)} further points "
+                     f"elided; MAPE covers all {len(points)}.)*")
+    return "\n".join(lines)
+
+
+def _evaluate_committed(payload, quick: bool = False,
+                        jobs: int | None = None,
+                        use_cache: bool | None = None) -> tuple:
+    """Re-evaluate an artifact's parameters against fresh simulator
+    observations.  Returns ``(results, observations)`` where each
+    result's ``mape`` is the *recomputed* error (the artifact's
+    recorded value is provenance, not truth)."""
+    committed = {r.model: r for r in artifact_results(payload)}
+    names = [name for name in committed if name in REGISTRY]
+    models = [get_model(name) for name in names]
+    observations = gather_observations(models, quick=quick, jobs=jobs,
+                                       use_cache=use_cache)
+    results = []
+    for model in models:
+        entry = committed[model.name]
+        points = observations[model.name]
+        achieved = model.evaluate(entry.params, points)
+        results.append(FitResult(model=model.name, params=entry.params,
+                                 mape=achieved,
+                                 target_mape=entry.target_mape,
+                                 npoints=len(points)))
+    return results, observations
+
+
+def check_artifact(path=None, quick: bool = False,
+                   jobs: int | None = None,
+                   use_cache: bool | None = None) -> tuple:
+    """The calibrate-check gate: committed parameters vs the current
+    simulator.  Returns ``(results, failures)`` — ``failures`` is the
+    sublist whose recomputed MAPE misses the recorded gate."""
+    payload = load_artifact(path)
+    results, _ = _evaluate_committed(payload, quick=quick, jobs=jobs,
+                                     use_cache=use_cache)
+    return results, [r for r in results if not r.ok]
+
+
+def generate_markdown(quick: bool = False, jobs: int | None = None,
+                      use_cache: bool | None = None,
+                      artifact=None, refit: bool = False) -> str:
+    """The full simulated-vs-predicted report.
+
+    With ``refit`` the models are calibrated from scratch; otherwise
+    the committed artifact's parameters are re-evaluated against fresh
+    observations (the honest mode: the report shows today's error, not
+    the error recorded at fit time).
+    """
+    if refit:
+        from repro.models import all_models
+        from repro.models.calibrate import calibrate_models
+        models = all_models()
+        results = calibrate_models(models, quick=quick, jobs=jobs,
+                                   use_cache=use_cache)
+        observations = gather_observations(models, quick=quick,
+                                           jobs=jobs, use_cache=use_cache)
+        source = "freshly calibrated"
+    else:
+        payload = load_artifact(artifact)
+        results, observations = _evaluate_committed(
+            payload, quick=quick, jobs=jobs, use_cache=use_cache)
+        source = "committed artifact, re-evaluated"
+    parts = [
+        "# Surrogate models: simulated vs predicted",
+        "",
+        f"Parameters: {source}.  MAPE is recomputed over fresh "
+        "simulator observations; see `docs/models.md` for each "
+        "formula and its paper grounding.",
+        "",
+        "## Fit summary",
+        "",
+        fit_summary_table(results),
+    ]
+    for result in results:
+        model = get_model(result.model)
+        parts += [
+            "",
+            f"## `{result.model}` — {model.title}",
+            "",
+            f"{model.figure}; predicts {model.units}.  "
+            f"MAPE {result.mape:.2f}% over {result.npoints} points "
+            f"(target {result.target_mape:.1f}%).",
+            "",
+            model_table(model, result.params,
+                        observations[result.model]),
+        ]
+    return "\n".join(parts) + "\n"

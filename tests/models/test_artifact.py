@@ -1,0 +1,88 @@
+"""Fitted-parameter artifact: round-trip, validation, rehydration."""
+
+import json
+
+import pytest
+
+from repro.models.artifact import (
+    ARTIFACT_VERSION,
+    artifact_results,
+    load_artifact,
+    save_artifact,
+)
+from repro.models.calibrate import FitResult
+
+
+def results_fixture():
+    return [
+        FitResult(model="beta", params={"b": 2.5, "a": 1.0},
+                  mape=0.1234, target_mape=5.0, npoints=10),
+        FitResult(model="alpha", params={"x": 3.0},
+                  mape=4.5678, target_mape=10.0, npoints=7),
+    ]
+
+
+class TestRoundTrip:
+    def test_save_load_rehydrate(self, tmp_path):
+        path = tmp_path / "fitted.json"
+        written = save_artifact(results_fixture(), path=path, quick=True)
+        assert written == path
+
+        payload = load_artifact(path)
+        assert payload["version"] == ARTIFACT_VERSION
+        assert payload["quick"] is True
+        assert set(payload["models"]) == {"alpha", "beta"}
+
+        rehydrated = {r.model: r for r in artifact_results(payload)}
+        assert rehydrated["beta"].params == {"a": 1.0, "b": 2.5}
+        assert rehydrated["beta"].mape == pytest.approx(0.1234)
+        assert rehydrated["alpha"].target_mape == 10.0
+        assert rehydrated["alpha"].npoints == 7
+        assert rehydrated["alpha"].ok          # 4.57 <= 10
+
+    def test_artifact_is_sorted_and_fingerprinted(self, tmp_path):
+        path = tmp_path / "fitted.json"
+        save_artifact(results_fixture(), path=path)
+        payload = json.loads(path.read_text())
+        assert list(payload["models"]) == ["alpha", "beta"]
+        assert payload["source_fingerprint"]
+
+    def test_save_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_artifact(results_fixture(), path=a)
+        save_artifact(list(reversed(results_fixture())), path=b)
+        assert a.read_text() == b.read_text()
+
+
+class TestValidation:
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 999, "models": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_artifact(path)
+
+    def test_missing_models_mapping(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": ARTIFACT_VERSION}))
+        with pytest.raises(ValueError, match="models"):
+            load_artifact(path)
+
+    def test_entry_without_params(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "version": ARTIFACT_VERSION,
+            "models": {"m": {"mape": 1.0, "target_mape": 5.0,
+                             "npoints": 3}},
+        }))
+        with pytest.raises(ValueError, match="'m'.*params"):
+            load_artifact(path)
+
+    def test_entry_missing_field(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "version": ARTIFACT_VERSION,
+            "models": {"m": {"params": {"a": 1.0}, "mape": 1.0,
+                             "target_mape": 5.0}},
+        }))
+        with pytest.raises(ValueError, match="npoints"):
+            load_artifact(path)

@@ -1,0 +1,64 @@
+"""ParamSpec validation, linspace edge cases, and MAPE semantics."""
+
+import math
+
+import pytest
+
+from repro.models.base import ParamSpec, mape
+
+
+class TestParamSpec:
+    def test_unfittable_bounds_raise(self):
+        with pytest.raises(ValueError, match="unfittable bounds"):
+            ParamSpec("bad", 10.0, 5.0)
+
+    def test_unfittable_bounds_error_names_the_parameter(self):
+        with pytest.raises(ValueError, match="'bad'"):
+            ParamSpec("bad", 10.0, 5.0)
+
+    def test_zero_grid_points_raise(self):
+        with pytest.raises(ValueError, match="at least one grid point"):
+            ParamSpec("bad", 0.0, 1.0, points=0)
+
+    def test_linspace_spans_bounds(self):
+        spec = ParamSpec("p", 0.0, 8.0, points=5)
+        assert spec.linspace() == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_degenerate_single_point_grid(self):
+        """``lo == hi`` is a pinned parameter: one candidate, always."""
+        spec = ParamSpec("pinned", 3.0, 3.0)
+        assert spec.linspace() == [3.0]
+        assert spec.linspace(0.0, 10.0) == [3.0]
+        assert spec.mid == 3.0
+
+    def test_points_one_is_degenerate(self):
+        spec = ParamSpec("p", 0.0, 10.0, points=1)
+        assert spec.linspace() == [0.0]
+
+    def test_window_clamps_into_bounds(self):
+        spec = ParamSpec("p", 0.0, 10.0, points=3)
+        assert spec.linspace(-5.0, 5.0) == [0.0, 2.5, 5.0]
+        assert spec.linspace(8.0, 20.0) == [8.0, 9.0, 10.0]
+
+    def test_inverted_window_collapses(self):
+        spec = ParamSpec("p", 0.0, 10.0)
+        # Window entirely above the bounds: clamp produces hi <= lo.
+        assert spec.linspace(12.0, 20.0) == [10.0]
+
+
+class TestMape:
+    def test_exact_is_zero(self):
+        assert mape([(10.0, 10.0), (5.0, 5.0)]) == 0.0
+
+    def test_percentage(self):
+        assert mape([(100.0, 110.0)]) == pytest.approx(10.0)
+
+    def test_zero_observations_excluded(self):
+        # The zero-observed point contributes nothing when predicted 0.
+        assert mape([(0.0, 0.0), (10.0, 11.0)]) == pytest.approx(10.0)
+
+    def test_all_zero_matched_is_zero(self):
+        assert mape([(0.0, 0.0)]) == 0.0
+
+    def test_zero_observed_nonzero_predicted_is_infinite(self):
+        assert math.isinf(mape([(0.0, 1.0)]))

@@ -1,0 +1,177 @@
+"""Calibrator behavior on toy models: recovery, pinned parameters,
+gate failures, and the stimulus-dedup pass.
+
+Toy models keep these tests fast — no simulation; ``tasks()`` is
+empty and ``observations`` returns prebuilt points.
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.models.base import AnalyticModel, CalPoint, ParamSpec
+from repro.models.calibrate import (
+    CalibrationError,
+    calibrate_models,
+    fit_model,
+    gather_observations,
+)
+
+
+def affine_points(a, b, xs):
+    return [CalPoint(features=(("x", x),), observed=a + b * x)
+            for x in xs]
+
+
+@dataclass
+class ToyAffineModel(AnalyticModel):
+    name: str = "toy_affine"
+    target_mape: float = 5.0
+    feature_names: tuple = ("x",)
+    param_specs: tuple = (
+        ParamSpec("a", 0.0, 10.0),
+        ParamSpec("b", 0.0, 4.0),
+    )
+    points: tuple = ()
+
+    def predict(self, params, machine, point):
+        return params["a"] + params["b"] * point["x"]
+
+    def tasks(self, quick=False):
+        return []
+
+    def observations(self, results, quick=False):
+        return list(self.points)
+
+
+class TestFitModel:
+    def test_recovers_affine_parameters(self):
+        points = affine_points(3.0, 2.0, [1, 2, 4, 8, 16])
+        result = fit_model(ToyAffineModel(), points)
+        assert result.mape < 0.5
+        assert result.ok
+        assert result.params["a"] == pytest.approx(3.0, abs=0.2)
+        assert result.params["b"] == pytest.approx(2.0, abs=0.1)
+        assert result.npoints == 5
+
+    def test_pinned_parameter_stays_pinned(self):
+        @dataclass
+        class Pinned(ToyAffineModel):
+            name: str = "toy_pinned"
+            param_specs: tuple = (
+                ParamSpec("a", 3.0, 3.0),      # degenerate grid
+                ParamSpec("b", 0.0, 4.0),
+            )
+
+        points = affine_points(3.0, 2.0, [1, 2, 4, 8])
+        result = fit_model(Pinned(), points)
+        assert result.params["a"] == 3.0
+        assert result.mape < 0.5
+
+    def test_out_of_bounds_seed_is_clamped(self):
+        @dataclass
+        class WildSeed(ToyAffineModel):
+            name: str = "toy_wild_seed"
+
+            def seed_params(self, points):
+                return {"a": 99.0, "b": -7.0}
+
+        points = affine_points(3.0, 2.0, [1, 2, 4, 8])
+        result = fit_model(WildSeed(), points)
+        assert 0.0 <= result.params["a"] <= 10.0
+        assert 0.0 <= result.params["b"] <= 4.0
+        # And the descent still recovers the fit from the clamped seed
+        # (looser tolerance: the adversarial seed makes the first
+        # coordinate passes zigzag before converging).
+        assert result.mape < 2.0
+
+    def test_empty_points_raise_calibration_error(self):
+        with pytest.raises(CalibrationError,
+                           match="no calibration points"):
+            fit_model(ToyAffineModel(), [])
+
+
+class TestStrictGate:
+    def test_gate_miss_raises_with_clear_message(self):
+        @dataclass
+        class Unfittable(ToyAffineModel):
+            # Data has slope 2, but b is pinned to 0: guaranteed miss.
+            name: str = "toy_unfittable"
+            target_mape: float = 1.0
+            param_specs: tuple = (
+                ParamSpec("a", 0.0, 10.0),
+                ParamSpec("b", 0.0, 0.0),
+            )
+            points: tuple = tuple(affine_points(3.0, 2.0,
+                                                [1, 2, 4, 8, 16]))
+
+        with pytest.raises(CalibrationError) as exc:
+            calibrate_models([Unfittable()], use_cache=False,
+                             strict=True)
+        message = str(exc.value)
+        assert "toy_unfittable" in message
+        assert "MAPE gate" in message
+        assert "target 1.0%" in message
+
+    def test_non_strict_records_the_miss(self):
+        @dataclass
+        class Unfittable(ToyAffineModel):
+            name: str = "toy_unfittable2"
+            target_mape: float = 1.0
+            param_specs: tuple = (
+                ParamSpec("a", 0.0, 10.0),
+                ParamSpec("b", 0.0, 0.0),
+            )
+            points: tuple = tuple(affine_points(3.0, 2.0,
+                                                [1, 2, 4, 8, 16]))
+
+        results = calibrate_models([Unfittable()], use_cache=False,
+                                   strict=False)
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "MISS" in results[0].describe()
+
+
+# ---------------------------------------------------- stimulus dedup
+
+RUNS = []
+
+
+@dataclass(frozen=True)
+class CountingTask:
+    tag: str = "shared"
+
+    def spec(self):
+        return {"task": "CountingTask", "tag": self.tag}
+
+    def run(self):
+        RUNS.append(self.tag)
+        return [("x", 1.0)]
+
+
+@dataclass
+class SharingModel(AnalyticModel):
+    name: str = "toy_sharing"
+    feature_names: tuple = ("x",)
+    param_specs: tuple = (ParamSpec("a", 0.0, 2.0),)
+
+    def predict(self, params, machine, point):
+        return params["a"]
+
+    def tasks(self, quick=False):
+        return [CountingTask()]
+
+    def observations(self, results, quick=False):
+        return [CalPoint(features=(("x", 0),), observed=v)
+                for _, v in results[0]]
+
+
+def test_shared_stimuli_simulate_once():
+    """Two models with spec-identical tasks cost one execution."""
+    RUNS.clear()
+    a = SharingModel()
+    b = SharingModel(name="toy_sharing_b")
+    observations = gather_observations([a, b], use_cache=False)
+    assert len(RUNS) == 1
+    assert observations["toy_sharing"] == observations["toy_sharing_b"]
+    assert observations["toy_sharing"][0].observed == 1.0

@@ -1,0 +1,96 @@
+"""Registry integrity and O(1) serving-tier sanity: every registered
+model predicts a finite value from the committed artifact, without
+touching the simulator."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    REGISTRY,
+    all_models,
+    artifact_results,
+    get_model,
+    load_artifact,
+)
+
+#: One representative stimulus point per registered model.
+SAMPLE_POINTS = {
+    "local_read": {"size": 65536, "stride": 64},
+    "local_write": {"size": 65536, "stride": 64},
+    "remote_read": {"hops": 2},
+    "remote_write": {"mechanism": "blocking", "size": 65536,
+                     "stride": 64},
+    "prefetch": {"group": 8},
+    "blt": {"direction": "read", "nbytes": 65536},
+    "bulk_transfer": {"direction": "write", "nbytes": 4096},
+    "fig1_local_read": {"size": 262144, "stride": 16384},
+    "fig2_local_write": {"size": 262144, "stride": 16384},
+    "fig4_remote_read": {"mechanism": "cached", "size": 65536,
+                         "stride": 32},
+    "fig5_remote_write": {"mechanism": "splitc", "size": 65536,
+                          "stride": 64},
+    "fig7_nonblocking_store": {"mechanism": "store", "size": 65536,
+                               "stride": 64},
+    "fig8_bulk_bandwidth": {"direction": "read", "mechanism": "blt",
+                            "nbytes": 131072},
+    "em3d_scaling": {"version": "bulk", "fraction": 0.2},
+}
+
+
+def test_registry_names_match_instances():
+    for name, cls in REGISTRY.items():
+        assert cls().name == name
+
+
+def test_all_models_covers_registry_exactly():
+    assert {m.name for m in all_models()} == set(REGISTRY)
+    assert len(all_models()) == len(REGISTRY)
+
+
+def test_get_model_unknown_name_is_a_clear_error():
+    with pytest.raises(KeyError, match="unknown model 'nope'"):
+        get_model("nope")
+
+
+def test_sample_points_cover_every_model():
+    assert set(SAMPLE_POINTS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLE_POINTS))
+def test_predict_from_committed_artifact_is_finite(name):
+    fitted = {r.model: r for r in artifact_results(load_artifact())}
+    model = get_model(name)
+    value = model.predict(fitted[name].params, model.machine,
+                          SAMPLE_POINTS[name])
+    assert isinstance(value, float)
+    assert math.isfinite(value)
+    assert value > 0.0
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLE_POINTS))
+def test_default_params_respect_declared_bounds(name):
+    model = get_model(name)
+    params = model.default_params()
+    assert set(params) == {s.name for s in model.param_specs}
+    for spec in model.param_specs:
+        assert spec.lo <= params[spec.name] <= spec.hi
+
+
+def test_committed_artifact_params_lie_within_declared_bounds():
+    fitted = {r.model: r for r in artifact_results(load_artifact())}
+    for name, cls in REGISTRY.items():
+        model = cls()
+        entry = fitted[name]
+        for spec in model.param_specs:
+            value = entry.params[spec.name]
+            assert spec.lo <= value <= spec.hi, (
+                f"{name}.{spec.name}={value} outside "
+                f"[{spec.lo}, {spec.hi}]")
+
+
+def test_committed_artifact_meets_recorded_gates():
+    """The committed fit must claim to meet its own gates (the live
+    re-verification is `make calibrate-check`)."""
+    for result in artifact_results(load_artifact()):
+        assert result.ok, result.describe()

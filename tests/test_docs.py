@@ -10,7 +10,8 @@ ROOT = Path(__file__).resolve().parent.parent
 
 DOCS = ["README.md", "DESIGN.md", "docs/timing_model.md",
         "docs/api_guide.md", "docs/paper_map.md",
-        "docs/observability.md", "docs/performance.md"]
+        "docs/observability.md", "docs/performance.md",
+        "docs/models.md"]
 
 #: Path-like references worth checking: backticked repo-relative paths.
 _PATH_RE = re.compile(
@@ -108,6 +109,97 @@ def test_docs_mention_the_new_observability_commands():
     readme = (ROOT / "README.md").read_text()
     for command in ("repro trace", "repro counters"):
         assert command in readme, command
+
+
+def _option_strings(parser) -> set:
+    return {s for action in parser._actions for s in action.option_strings}
+
+
+def _subparser_choices(parser) -> dict:
+    import argparse
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_documented_cli_flags_exist(doc):
+    """Every ``--flag`` shown on a documented ``repro ...`` command
+    line is actually registered on that (sub)command's parser."""
+    from repro.cli import build_parser
+    root = build_parser()
+    text = (ROOT / doc).read_text()
+    problems = []
+    for snippet in _code_snippets(text):
+        for line in snippet.splitlines():
+            m = re.search(r"\brepro\s+(.+)$", line)
+            if not m:
+                continue
+            tokens = m.group(1).split()
+            parser, allowed = root, _option_strings(root)
+            for token in tokens:
+                choices = _subparser_choices(parser)
+                if token in choices:
+                    parser = choices[token]
+                    allowed |= _option_strings(parser)
+                else:
+                    break
+            for token in tokens:
+                token = token.strip("[]").split("=")[0]
+                is_flag = token.startswith("--") or (
+                    len(token) == 2 and token.startswith("-")
+                    and token[1].isalpha())
+                if is_flag and token not in allowed:
+                    problems.append(f"{line.strip()!r}: {token}")
+    assert not problems, (
+        f"{doc} documents CLI flags that don't exist: {problems}")
+
+
+# --------------------------------------------- model-catalog consistency
+
+def test_every_registered_model_documented_in_catalog():
+    from repro.models import REGISTRY
+    text = (ROOT / "docs/models.md").read_text()
+    missing = [name for name in REGISTRY if f"`{name}`" not in text]
+    assert not missing, (
+        f"docs/models.md is missing catalog entries for: {missing}")
+
+
+def test_catalog_registry_table_rows_are_registered_models():
+    """The catalog's registry table may not advertise models that no
+    longer exist (the converse of the completeness check)."""
+    from repro.models import REGISTRY
+    text = (ROOT / "docs/models.md").read_text()
+    section = text.split("## Registry")[1].split("\n## ")[0]
+    rows = re.findall(r"^\| \[`([a-z0-9_]+)`\]", section, re.MULTILINE)
+    assert rows, "registry table not found in docs/models.md"
+    stale = [name for name in rows if name not in REGISTRY]
+    assert not stale, f"docs/models.md registry table lists unknown " \
+                      f"models: {stale}"
+
+
+def test_fitted_artifact_covers_every_registered_model():
+    from repro.models import REGISTRY, load_artifact
+    payload = load_artifact()
+    missing = sorted(set(REGISTRY) - set(payload["models"]))
+    assert not missing, (
+        f"FITTED_MODELS.json has no fit for: {missing} "
+        f"(run `make calibrate`)")
+
+
+def test_no_dead_relative_links_in_docs():
+    """Same check `make docs-check` runs via tools/check_doc_links.py."""
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", ROOT / "tools" / "check_doc_links.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    bad = []
+    for path in mod.doc_files():
+        for target in mod.dead_links(path):
+            bad.append(f"{path.relative_to(ROOT)}: {target}")
+    assert not bad, f"dead relative links: {bad}"
 
 
 # ------------------------------------------- event-catalog consistency

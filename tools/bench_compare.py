@@ -14,9 +14,15 @@ the perf gate behind ``make bench-compare``.
 * ``--warn-only`` prints the comparison but always exits zero (used in
   the ``make bench`` summary, where the fresh snapshot may reflect a
   deliberately different configuration than the committed baseline).
+* ``--models ARTIFACT`` additionally runs the surrogate-model
+  regression oracle: the artifact's fitted parameters are re-evaluated
+  against the current simulator (``repro.reporting.models``), and any
+  model missing its recorded MAPE gate counts as a regression — a
+  *behavioral* drift check alongside the wall-clock one.
 
 Usage: bench_compare.py BASE_JSON NEW_JSON
            [--threshold PCT] [--min-seconds S] [--warn-only]
+           [--models ARTIFACT]
 """
 
 from __future__ import annotations
@@ -64,6 +70,10 @@ def main(argv=None) -> int:
                              "below this noise floor (default 0.05)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report but always exit 0")
+    parser.add_argument("--models", default=None, metavar="ARTIFACT",
+                        help="also re-verify this fitted-model "
+                             "artifact against the current simulator "
+                             "(MAPE-gate misses count as regressions)")
     args = parser.parse_args(argv)
 
     with open(args.base) as handle:
@@ -73,6 +83,15 @@ def main(argv=None) -> int:
 
     lines, regressions = compare(base, new, args.threshold,
                                  args.min_seconds)
+    if args.models:
+        from repro.reporting.models import check_artifact
+        results, failures = check_artifact(path=args.models)
+        lines.append(f"  model oracle ({args.models}): "
+                     f"{len(results)} fits re-verified")
+        for result in failures:
+            regressions.append(
+                f"model {result.model}: MAPE {result.mape:.2f}% > "
+                f"recorded gate {result.target_mape:.1f}%")
     print(f"bench compare: {args.base} -> {args.new} "
           f"(threshold +{100 * args.threshold:.0f}%, "
           f"noise floor {args.min_seconds:.2f} s)")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the documentation.
+
+Scans every markdown file under ``docs/`` plus the root README/DESIGN
+for markdown links ``[text](target)`` and inline reference targets,
+and verifies that each *relative* target resolves to a file in the
+repository (anchors are stripped; external ``http(s)``/``mailto``
+links are out of scope — this is a filesystem check, not a crawler).
+
+Part of ``make docs-check``.  Exits nonzero listing every dead link as
+``file: target``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links, excluding images' alt-text edge cases —
+#: ``![alt](src)`` matches too, which is what we want.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md", ROOT / "DESIGN.md"]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def dead_links(path: Path) -> list[str]:
+    text = path.read_text()
+    missing = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:            # pure in-page anchor
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            missing.append(target)
+    return missing
+
+
+def main() -> int:
+    bad = []
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for target in dead_links(path):
+            bad.append(f"{path.relative_to(ROOT)}: {target}")
+    if bad:
+        print(f"{len(bad)} dead relative link(s):")
+        for line in bad:
+            print(f"  {line}")
+        return 1
+    print(f"doc links ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
