@@ -4,7 +4,7 @@ PYTHON ?= python3
 # them): REPRO_JOBS fans experiment shards across processes,
 # REPRO_CACHE=0 disables the persistent result cache.
 REPRO_JOBS ?= 1
-BASE ?= BENCH_PR2.json
+BASE ?= BENCH_PR5.json
 
 .PHONY: test bench bench-compare bench-quick calibrate \
 	calibrate-check docs-check experiments examples quickcheck clean
@@ -21,14 +21,15 @@ bench:
 	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
 	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
-		BENCH_PR5.json --meta .bench_meta.json
+		BENCH_PR8.json --meta .bench_meta.json
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR5.json --warn-only
+		BENCH_PR8.json --warn-only
 
-# Strict perf gate: exit nonzero on >10% mean regression vs $(BASE).
+# Strict perf gate: exit nonzero on >10% mean regression vs $(BASE),
+# plus a bit-identity cross-check of the compute tiers (--tiers).
 bench-compare:
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR5.json
+		BENCH_PR8.json --tiers
 
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q

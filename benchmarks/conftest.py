@@ -16,6 +16,13 @@ import os
 
 import pytest
 
+try:
+    # Pay numpy's one-time import cost at collection, not inside the
+    # first timed benchmark that touches the vectorized tier.
+    import numpy  # noqa: F401
+except ImportError:
+    pass
+
 _REPORTS: list = []
 
 

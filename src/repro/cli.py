@@ -34,6 +34,11 @@ __all__ = ["build_parser", "main"]
 
 
 def _cmd_experiments(args) -> int:
+    if args.no_vector:
+        # Probes consult REPRO_VECTOR when they build each sweep, and
+        # sweep-engine workers inherit the environment.
+        import os
+        os.environ["REPRO_VECTOR"] = "0"
     use_cache = False if args.no_cache else None
     if args.json:
         import json
@@ -285,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="experiment fan-out processes (default: "
                         "$REPRO_JOBS, else 1 = serial; 0 = all cores)")
+    p.add_argument("--no-vector", action="store_true",
+                   help="disable the vectorized compute tier "
+                        "(repro.vector); equivalent to REPRO_VECTOR=0")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore the persistent result cache and "
                         "recompute every experiment")

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.params import CYCLE_NS
+from repro.vector import UnsupportedStimulus
 
 __all__ = ["LatencyCurves", "PointSpec", "ProbePoint",
            "clear_probe_memo", "default_sizes", "default_strides",
@@ -155,14 +156,25 @@ def run_stride_point(access_fn, spec: PointSpec, *, base_addr: int = 0,
     """Measure one point: cold-start, warm passes, measured passes.
 
     ``sweep_fn`` (see :func:`run_stride_probe`) runs the point batched;
-    otherwise the reference per-access loop runs.
+    otherwise the reference per-access loop runs.  A ``sweep_fn`` may
+    raise :class:`repro.vector.UnsupportedStimulus` to decline a point
+    it cannot express (the vectorized tier does this for non-canonical
+    geometry); the point then falls back to the reference loop.  Every
+    spec field — ``stride``, ``naccesses``, plus ``base_addr`` and the
+    pass counts — is forwarded to the sweep, so a batched tier sees the
+    whole stimulus or none of it; there are no silently-dropped fields.
     """
     if reset_fn is not None:
         reset_fn()
     if sweep_fn is not None:
-        total, count = sweep_fn(base_addr, spec.stride, spec.naccesses,
-                                warmup_passes, measure_passes)
-    else:
+        try:
+            total, count = sweep_fn(base_addr, spec.stride, spec.naccesses,
+                                    warmup_passes, measure_passes)
+        except UnsupportedStimulus:
+            if reset_fn is not None:
+                reset_fn()      # the sweep may have touched state
+            sweep_fn = None
+    if sweep_fn is None:
         addrs = range(base_addr, base_addr + spec.naccesses * spec.stride,
                       spec.stride)
         now = 0.0

@@ -21,6 +21,7 @@ from repro.params import CYCLE_NS, WORD_BYTES, mb_per_s
 from repro.splitc import bulk
 from repro.splitc.gptr import GlobalPtr
 from repro.splitc.runtime import SplitC
+from repro import vector as _vector
 
 __all__ = [
     "BandwidthPoint",
@@ -54,13 +55,17 @@ KB = 1024
 def local_read_probe(memsys: MemorySystem, **kwargs) -> LatencyCurves:
     """Figure 1: average read latency vs (array size, stride).
 
-    Runs each point through the memory system's batched
-    :meth:`~repro.node.memsys.MemorySystem.read_sweep` (exactly
-    equivalent to the per-access loop) and memoizes points by the
+    Runs each point through the vectorized tier
+    (:func:`repro.vector.stride_sweep_fn`) when it is enabled, falling
+    back to the memory system's batched
+    :meth:`~repro.node.memsys.MemorySystem.read_sweep` — both exactly
+    equivalent to the per-access loop — and memoizes points by the
     machine's parameters; pass ``sweep_fn=None`` / ``memo_key=None`` to
     force the reference per-access path.
     """
-    kwargs.setdefault("sweep_fn", memsys.read_sweep)
+    kwargs.setdefault("sweep_fn", _vector.stride_sweep_fn(
+        "local_read", node_params=memsys.params,
+        fallback=memsys.read_sweep))
     kwargs.setdefault("memo_key", ("local_read", memsys.params))
     return run_stride_probe(
         memsys.read_cycles, reset_fn=memsys.reset, **kwargs)
@@ -68,7 +73,9 @@ def local_read_probe(memsys: MemorySystem, **kwargs) -> LatencyCurves:
 
 def local_write_probe(memsys: MemorySystem, **kwargs) -> LatencyCurves:
     """Figure 2: average write latency vs (array size, stride)."""
-    kwargs.setdefault("sweep_fn", memsys.write_sweep)
+    kwargs.setdefault("sweep_fn", _vector.stride_sweep_fn(
+        "local_write", node_params=memsys.params,
+        fallback=memsys.write_sweep))
     kwargs.setdefault("memo_key", ("local_write", memsys.params))
     return run_stride_probe(
         memsys.write_cycles, reset_fn=memsys.reset, **kwargs)
@@ -115,6 +122,9 @@ def remote_read_probe(machine: Machine | None = None,
         machine.reset()
         sc.annex_policy.reset()
 
+    kwargs.setdefault("sweep_fn", _vector.stride_sweep_fn(
+        "remote_read", machine=machine, mechanism=mechanism,
+        splitc=sc if mechanism == "splitc" else None))
     kwargs.setdefault("memo_key", ("remote_read", mechanism, machine.params))
     return run_stride_probe(access, reset_fn=reset, **kwargs)
 
@@ -468,14 +478,21 @@ def network_hop_probe(shape=(8, 1, 1)) -> list[tuple[int, float]]:
 
 def streaming_bandwidth_probe(memsys: MemorySystem,
                               nbytes: int = 256 * KB) -> float:
-    """Section 2.2: sequential-read bandwidth out of main memory."""
+    """Section 2.2: sequential-read bandwidth out of main memory.
+
+    The vectorized tier computes the whole cold pass analytically
+    (:func:`repro.vector.streaming_read_total`, bit-identical); the
+    reference loop runs when the tier is off or declines the stimulus.
+    """
     memsys.reset()
-    now = 0.0
-    total = 0.0
-    for addr in range(0, nbytes, WORD_BYTES):
-        cycles = memsys.read_cycles(now, addr)
-        total += cycles
-        now += cycles
+    total = _vector.streaming_read_total(memsys.params, nbytes)
+    if total is None:
+        now = 0.0
+        total = 0.0
+        for addr in range(0, nbytes, WORD_BYTES):
+            cycles = memsys.read_cycles(now, addr)
+            total += cycles
+            now += cycles
     return mb_per_s(nbytes, total)
 
 

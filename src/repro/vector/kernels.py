@@ -1,0 +1,186 @@
+"""Vectorized tag-arithmetic twins of the :mod:`repro.node` unit models.
+
+Each function here computes, over a whole pre-generated address stream,
+exactly what the corresponding stateful model computes one access at a
+time:
+
+==============================  =====================================
+:func:`direct_mapped_hit_mask`  :meth:`repro.node.cache.Cache.access_fill`
+                                (direct-mapped)
+:func:`dram_cost_stream`        :meth:`repro.node.dram.Dram.access_with`
+:func:`tlb_cost_stream`         :meth:`repro.node.tlb.Tlb.translate`
+                                (fully-associative LRU)
+==============================  =====================================
+
+The correspondence is lock-step, not approximate — the unit tests in
+``tests/vector/test_kernels.py`` replay random streams through both
+spellings and require identical outputs.  All kernels assume a
+**cold-started** unit (the probe harness's ``reset_fn`` guarantees it)
+and a stream of non-negative integer addresses.
+
+Why the results are bit-identical, not just numerically close: every
+per-access cost in the calibrated model is a small dyadic rational
+(integers on the read paths; quarter-integer write-buffer drain
+intervals at worst, since ``drain / capacity`` divides by the
+power-of-two buffer depth 4), and probe totals stay many orders of
+magnitude below 2**53 — so every float64 addition is exact, and any
+summation order (including numpy's pairwise reduction) produces the
+same bits as the reference model's sequential accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vector import UnsupportedStimulus
+
+__all__ = [
+    "direct_mapped_hit_mask",
+    "dram_cost_stream",
+    "sawtooth_addresses",
+    "tlb_cost_stream",
+    "validate_point",
+]
+
+
+def validate_point(base: int, stride: int, count: int,
+                   warmup_passes: int, measure_passes: int) -> None:
+    """Reject point geometry the kernels do not claim.
+
+    The reference loop technically accepts degenerate inputs (a
+    negative stride walks addresses downward; ``range`` raises on a
+    zero stride), so anything outside the canonical sawtooth —
+    positive stride, at least one access, non-negative base, at least
+    one measured pass — is routed back to a lower tier rather than
+    silently reinterpreted.
+    """
+    if stride <= 0 or count <= 0 or base < 0 \
+            or warmup_passes < 0 or measure_passes < 1:
+        raise UnsupportedStimulus(
+            f"non-canonical point geometry: base={base} stride={stride} "
+            f"count={count} passes={warmup_passes}+{measure_passes}")
+
+
+def sawtooth_addresses(base: int, stride: int, count: int,
+                       npasses: int) -> np.ndarray:
+    """The full probe stimulus as one int64 array: ``npasses``
+    repetitions of ``base, base+stride, ..., base+(count-1)*stride``.
+
+    int64 is exact here: probe addresses stay far below 2**63 (the
+    largest composed address is one annex bit at 2**32 plus a sub-GB
+    offset).
+    """
+    one_pass = base + stride * np.arange(count, dtype=np.int64)
+    if npasses == 1:
+        return one_pass
+    return np.tile(one_pass, npasses)
+
+
+def direct_mapped_hit_mask(addrs: np.ndarray, line_bytes: int,
+                           num_sets: int) -> np.ndarray:
+    """Hit/miss of each access against a cold direct-mapped cache.
+
+    Twin of :meth:`Cache.access_fill` with ``associativity == 1``: the
+    resident line of a set is always the line of the most recent prior
+    access mapping to that set (a hit leaves it, a miss overwrites it),
+    so access *i* hits iff the previous access to its set touched the
+    same line.  A stable argsort groups the stream by set while
+    preserving program order inside each group, turning the per-set
+    "same line as my predecessor?" question into one shifted compare.
+    """
+    lines = addrs // line_bytes         # line *number*; equal iff the
+    sets = lines % num_sets             # line address addr - addr%lb is
+    order = np.argsort(sets, kind="stable")     # equal, for ints >= 0
+    sets_sorted = sets[order]
+    lines_sorted = lines[order]
+    hits_sorted = np.empty(len(addrs), dtype=bool)
+    if len(addrs):
+        hits_sorted[0] = False
+        hits_sorted[1:] = ((sets_sorted[1:] == sets_sorted[:-1])
+                           & (lines_sorted[1:] == lines_sorted[:-1]))
+    hits = np.empty(len(addrs), dtype=bool)
+    hits[order] = hits_sorted
+    return hits
+
+
+def dram_cost_stream(addrs: np.ndarray, *, interleave: int, banks: int,
+                     page_bytes: int, access_cycles: float,
+                     off_page_cycles: float,
+                     same_bank_cycles: float) -> np.ndarray:
+    """Per-access cost of a stream through a cold page-mode DRAM.
+
+    Twin of :meth:`Dram.access_with` from reset state (all open rows
+    ``-1``, no last bank): after any access to a bank that bank's open
+    row equals that access's row (a hit means it already did; a miss
+    installs it), so an access row-misses iff it is its bank's first
+    access or its row differs from the previous access *to the same
+    bank* — one shifted compare per bank.  The same-bank conflict
+    additionally requires the immediately preceding access (across all
+    banks) to have used this bank.
+
+    The bank count is tiny (2-8 for every modeled machine), so the
+    per-bank grouping is a handful of O(n) masked selects rather than a
+    sort.
+    """
+    n = len(addrs)
+    block = addrs // interleave
+    bank = block % banks
+    row = ((block // banks) * interleave + addrs % interleave) // page_bytes
+    miss = np.empty(n, dtype=bool)
+    for b in range(banks):
+        idx = np.flatnonzero(bank == b)
+        if not len(idx):
+            continue
+        rows_b = row[idx]
+        miss_b = np.empty(len(idx), dtype=bool)
+        miss_b[0] = True                # open row starts at -1
+        miss_b[1:] = rows_b[1:] != rows_b[:-1]
+        miss[idx] = miss_b
+    conflict = np.zeros(n, dtype=bool)
+    if n:
+        conflict[1:] = miss[1:] & (bank[1:] == bank[:-1])
+    costs = np.full(n, access_cycles, dtype=np.float64)
+    costs[miss] += off_page_cycles
+    costs[conflict] += same_bank_cycles
+    return costs
+
+
+def tlb_cost_stream(addrs_one_pass: np.ndarray, npasses: int, *,
+                    page_bytes: int, capacity: int,
+                    miss_cycles: float) -> np.ndarray:
+    """Per-access translation cost over ``npasses`` repetitions of one
+    pass, against a cold fully-associative LRU TLB.
+
+    Twin of :meth:`Tlb.translate`.  The sawtooth stimulus makes the
+    reuse pattern analytic instead of needing an LRU replay.  Within a
+    pass the page sequence is non-decreasing, so its first-touch
+    positions are exactly the page transitions (plus position 0), and
+    the number of distinct pages ``P`` is transitions + 1:
+
+    * ``P <= capacity`` — pass 1 misses at each first touch; by the end
+      of the pass all ``P`` pages are resident (inserting the P-th page
+      finds ``P-1 < capacity`` entries, so even ``P == capacity`` fits
+      without an eviction) and every later pass hits everywhere.
+    * ``P > capacity`` — repeat accesses to a page still hit (the page
+      was just touched, hence most-recent in LRU order), but by the
+      time a pass returns to a page's first-touch position ``P-1 >=
+      capacity`` other distinct pages have been touched, so LRU has
+      evicted it: **every** first-touch position misses in **every**
+      pass.  (Position 0 of passes 2+ is a first touch here because
+      ``P >= 2`` makes the previous access's page — the pass's last,
+      largest page — differ from the base page.)
+    """
+    count = len(addrs_one_pass)
+    pages = addrs_one_pass // page_bytes
+    newpage = np.empty(count, dtype=bool)
+    if count:
+        newpage[0] = True
+        newpage[1:] = pages[1:] != pages[:-1]
+    distinct = int(newpage.sum())
+    costs = np.zeros(count * npasses, dtype=np.float64)
+    if distinct > capacity:
+        miss_mask = np.tile(newpage, npasses)
+        costs[miss_mask] = miss_cycles
+    else:
+        costs[:count][newpage] = miss_cycles
+    return costs

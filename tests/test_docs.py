@@ -254,3 +254,20 @@ def test_observability_counter_catalog_matches_providers():
         assert documented[kind] == actual, (
             f"{kind}: documented {sorted(documented[kind])}, "
             f"actual {sorted(actual)}")
+
+
+def test_version_agrees_everywhere():
+    """One release number: ``repro.__version__``, ``pyproject.toml``,
+    and the newest CHANGELOG.md heading must match (PR 8 fixed a
+    three-way skew here)."""
+    import repro
+
+    pyproject = (ROOT / "pyproject.toml").read_text()
+    m = re.search(r'^version = "([^"]+)"$', pyproject, re.MULTILINE)
+    assert m, "pyproject.toml has no version line"
+    assert m.group(1) == repro.__version__
+
+    changelog = (ROOT / "CHANGELOG.md").read_text()
+    m = re.search(r"^## ([0-9][0-9a-z.]*)", changelog, re.MULTILINE)
+    assert m, "CHANGELOG.md has no release heading"
+    assert m.group(1) == repro.__version__

@@ -19,10 +19,15 @@ the perf gate behind ``make bench-compare``.
   against the current simulator (``repro.reporting.models``), and any
   model missing its recorded MAPE gate counts as a regression — a
   *behavioral* drift check alongside the wall-clock one.
+* ``--tiers`` additionally cross-checks the compute tiers: a small
+  probe subset is run on the vectorized tier and on the fast/reference
+  tiers (``REPRO_VECTOR=0``), and any numeric mismatch counts as a
+  regression.  A perf gate that compares tiered timings is only
+  meaningful while the tiers agree bit for bit.
 
 Usage: bench_compare.py BASE_JSON NEW_JSON
            [--threshold PCT] [--min-seconds S] [--warn-only]
-           [--models ARTIFACT]
+           [--models ARTIFACT] [--tiers]
 """
 
 from __future__ import annotations
@@ -57,6 +62,61 @@ def compare(base: dict, new: dict, threshold: float,
     return lines, regressions
 
 
+def check_tiers() -> tuple[list[str], list[str]]:
+    """Cross-check the vectorized tier against the lower tiers on a
+    small probe subset; mismatches are regressions."""
+    import os
+
+    from repro import vector
+    from repro.machine.machine import Machine
+    from repro.microbench import harness, probes
+    from repro.node.memsys import t3d_memory_system
+    from repro.params import t3d_machine_params
+
+    if not vector.enabled():
+        return (["  tier cross-check: vectorized tier unavailable "
+                 "(REPRO_VECTOR=0 or no numpy), skipped"], [])
+
+    kb = 1024
+    sizes = [4 * kb, 64 * kb]
+    subset = [
+        ("local_read", lambda: probes.local_read_probe(
+            t3d_memory_system(), sizes=sizes, memo_key=None)),
+        ("local_write", lambda: probes.local_write_probe(
+            t3d_memory_system(), sizes=sizes, memo_key=None)),
+        ("remote_read", lambda: probes.remote_read_probe(
+            Machine(t3d_machine_params((2, 1, 1))), sizes=sizes,
+            memo_key=None)),
+    ]
+    lines, regressions = [], []
+    saved = os.environ.get("REPRO_VECTOR")
+    try:
+        for name, run in subset:
+            harness.clear_probe_memo()
+            os.environ["REPRO_VECTOR"] = "1"
+            vec = [(p.size, p.stride, p.avg_cycles, p.accesses)
+                   for p in run().points]
+            harness.clear_probe_memo()
+            os.environ["REPRO_VECTOR"] = "0"
+            low = [(p.size, p.stride, p.avg_cycles, p.accesses)
+                   for p in run().points]
+            harness.clear_probe_memo()
+            if vec == low:
+                lines.append(f"  tier ok   {name}: {len(vec)} points "
+                             "bit-identical")
+            else:
+                bad = sum(1 for a, b in zip(vec, low) if a != b)
+                regressions.append(
+                    f"tier mismatch {name}: {bad}/{len(vec)} points "
+                    "differ between vectorized and fallback tiers")
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VECTOR", None)
+        else:
+            os.environ["REPRO_VECTOR"] = saved
+    return lines, regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when a bench snapshot regresses vs a baseline")
@@ -74,6 +134,10 @@ def main(argv=None) -> int:
                         help="also re-verify this fitted-model "
                              "artifact against the current simulator "
                              "(MAPE-gate misses count as regressions)")
+    parser.add_argument("--tiers", action="store_true",
+                        help="also cross-check the vectorized compute "
+                             "tier against the fallback tiers "
+                             "(mismatches count as regressions)")
     args = parser.parse_args(argv)
 
     with open(args.base) as handle:
@@ -92,6 +156,10 @@ def main(argv=None) -> int:
             regressions.append(
                 f"model {result.model}: MAPE {result.mape:.2f}% > "
                 f"recorded gate {result.target_mape:.1f}%")
+    if args.tiers:
+        tier_lines, tier_regressions = check_tiers()
+        lines.extend(tier_lines)
+        regressions.extend(tier_regressions)
     print(f"bench compare: {args.base} -> {args.new} "
           f"(threshold +{100 * args.threshold:.0f}%, "
           f"noise floor {args.min_seconds:.2f} s)")

@@ -40,6 +40,17 @@ PARALLEL_GROUP_BASELINES = {
     "test_fig9_em3d": 2.085,
 }
 
+#: Mean wall-clock seconds of the five hottest probe benchmarks at the
+#: PR 5 snapshot (BENCH_PR5.json) — the baseline the vectorized
+#: compute tier (``repro.vector``) is measured against.
+VECTOR_HOT_BASELINES = {
+    "test_fig4_remote_read": 0.7049,
+    "test_tab_bulk_crossover": 0.3949,
+    "test_tab_em3d_local": 0.3483,
+    "test_fig2_local_write": 0.3476,
+    "test_em3d_weak_scaling": 0.2623,
+}
+
 
 def condense(raw: dict, meta: dict | None = None) -> dict:
     means = {b["name"]: round(b["stats"]["mean"], 4)
@@ -70,6 +81,24 @@ def condense(raw: dict, meta: dict | None = None) -> dict:
             "pr2_baseline_seconds": base_total,
             "speedup_vs_pr2": (round(base_total / group_total, 2)
                                if group_total > 0 else None),
+        }
+    hot = {name: means[name] for name in VECTOR_HOT_BASELINES
+           if name in means}
+    if len(hot) == len(VECTOR_HOT_BASELINES):
+        per_bench = {
+            name: (round(VECTOR_HOT_BASELINES[name] / hot[name], 2)
+                   if hot[name] > 0 else None)
+            for name in hot
+        }
+        valid = [s for s in per_bench.values() if s is not None]
+        snapshot["vector_group"] = {
+            "benchmarks": hot,
+            "pr5_baseline_seconds": VECTOR_HOT_BASELINES,
+            "speedup_vs_pr5": per_bench,
+            # Arithmetic mean of the per-benchmark speedups — the
+            # vectorized-tier acceptance number.
+            "mean_speedup_vs_pr5": (round(sum(valid) / len(valid), 2)
+                                    if valid else None),
         }
     if meta is not None:
         snapshot["run_meta"] = meta
@@ -109,6 +138,13 @@ def main(argv: list[str]) -> int:
         print(f"fig5+fig7+fig8+fig9: {group['total_seconds']:.3f} s "
               f"({group['speedup_vs_pr2']:.2f}x vs PR2 "
               f"{group['pr2_baseline_seconds']:.3f} s)")
+    vec = snapshot.get("vector_group")
+    if vec:
+        print(f"vector hot five: mean {vec['mean_speedup_vs_pr5']:.2f}x "
+              f"vs PR5 (per-benchmark "
+              + ", ".join(f"{n.removeprefix('test_')} "
+                          f"{s:.2f}x" for n, s in
+                          sorted(vec["speedup_vs_pr5"].items())) + ")")
     if meta:
         cache = meta.get("cache", {})
         print(f"run: jobs={meta.get('jobs')} "
