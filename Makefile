@@ -6,7 +6,7 @@ PYTHON ?= python3
 REPRO_JOBS ?= 1
 BASE ?= BENCH_PR5.json
 
-.PHONY: test bench bench-compare bench-quick calibrate \
+.PHONY: test bench bench-scaling bench-compare bench-quick calibrate \
 	calibrate-check docs-check experiments examples quickcheck clean
 
 test:
@@ -21,15 +21,23 @@ bench:
 	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
 	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
-		BENCH_PR8.json --meta .bench_meta.json
+		BENCH_PR9.json --meta .bench_meta.json \
+		--scaling .scaling_curve.json
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR8.json --warn-only
+		BENCH_PR9.json --warn-only
 
-# Strict perf gate: exit nonzero on >10% mean regression vs $(BASE),
-# plus a bit-identity cross-check of the compute tiers (--tiers).
+# Full weak-scaling sweep: REPRO_SCALING_FULL=1 adds the 1024-PE EM3D
+# point (a ~minute of simulation) to the large curve before the
+# snapshot embeds the per-PE us/edge figures (weak_scaling section).
+bench-scaling:
+	REPRO_SCALING_FULL=1 $(MAKE) bench
+
+# Strict perf gate: exit nonzero on >10% mean regression vs $(BASE)
+# (wall-clock means and weak-scaling us/edge points), plus a
+# bit-identity cross-check of the compute tiers (--tiers).
 bench-compare:
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR8.json --tiers
+		BENCH_PR9.json --tiers
 
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q

@@ -2,48 +2,124 @@
 
 The paper's metric — time per edge with a fixed per-processor graph —
 is chosen precisely because it should stay flat "when scaling both
-problem and machine size" (section 8).  Sweeping the simulated machine
-from 2 to 8 processors with the same per-PE graph parameters checks
-that the implementation has no hidden serial term: per-edge cost grows
-only by the (logarithmic-ish) barrier settle and the slightly longer
-torus hops.
+problem and machine size" (section 8).  Two curves share one harness:
+
+* the **small** curve (2/4/8 processors, the historical snapshot
+  benchmark) keeps comparing against prior PRs' numbers;
+* the **large** curve sweeps 16/64/256 processors — and 1024 when
+  ``REPRO_SCALING_FULL`` is set (``make bench-scaling``) — through the
+  cohort-batched scheduler, checking that per-edge cost grows only by
+  the (logarithmic-ish) barrier settle and the slightly longer torus
+  hops: the largest machine must stay within 1.3x of the smallest.
+
+Every shape comes from :func:`balanced_torus_shape`; the large curve
+writes its per-point costs and wall-clock seconds to
+``.scaling_curve.json`` for ``tools/bench_snapshot.py --scaling`` to
+fold into the BENCH snapshot.
 """
 
-import pytest
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.apps.em3d import make_graph, run_em3d
 from repro.machine.machine import Machine
 from repro.microbench.report import format_comparison
+from repro.network.torus import balanced_torus_shape
 from repro.params import t3d_machine_params
 
-SHAPES = {2: (2, 1, 1), 4: (2, 2, 1), 8: (2, 2, 2)}
+SMALL_PES = (2, 4, 8)
+LARGE_PES = (16, 64, 256)
+FULL_PES = (16, 64, 256, 1024)
+
+# Per-processor graph for the historical small curve.
 NODES_PER_PE = 120
 DEGREE = 8
 FRACTION = 0.3
 
+# The large curve trades graph size for machine size so the 1024-PE
+# point stays inside a bounded wall-clock budget.
+LARGE_NODES_PER_PE = 64
+LARGE_DEGREE = 6
 
-def run_scaling():
+# Documented flatness bound for the large curve (docs/performance.md):
+# per-edge cost at the largest machine vs. the smallest.
+FLATNESS_BOUND = 1.3
+
+CURVE_PATH = Path(__file__).resolve().parent.parent / ".scaling_curve.json"
+
+
+def scaling_pes():
+    """PE counts for the large curve; the 1024-processor point joins
+    only when ``REPRO_SCALING_FULL`` asks for the full sweep."""
+    if os.environ.get("REPRO_SCALING_FULL", "").strip():
+        return FULL_PES
+    return LARGE_PES
+
+
+def run_curve(pe_counts, nodes_per_pe, degree):
     costs = {}
-    for num_pes, shape in SHAPES.items():
-        graph = make_graph(num_pes, NODES_PER_PE, DEGREE, FRACTION,
+    walls = {}
+    for num_pes in pe_counts:
+        shape = balanced_torus_shape(num_pes)
+        graph = make_graph(num_pes, nodes_per_pe, degree, FRACTION,
                            seed=1995)
         machine = Machine(t3d_machine_params(shape))
+        started = time.perf_counter()
         result = run_em3d(machine, graph, "put", steps=1, warmup_steps=1)
+        walls[num_pes] = time.perf_counter() - started
         costs[num_pes] = result.us_per_edge
-    return costs
+    return costs, walls
+
+
+def _assert_flat(costs, bound):
+    smallest, largest = min(costs), max(costs)
+    detail = ", ".join(f"{p} PEs = {c:.4f} us/edge"
+                       for p, c in sorted(costs.items()))
+    assert costs[largest] < bound * costs[smallest], (
+        f"per-edge cost not flat: {largest} PEs costs "
+        f"{costs[largest] / costs[smallest]:.2f}x the {smallest}-PE "
+        f"point (bound {bound}x) — {detail}")
+    # And it never *shrinks* dramatically either (no fake speedup).
+    assert costs[largest] > 0.7 * costs[smallest], (
+        f"per-edge cost dropped implausibly with machine size "
+        f"({detail}) — a timing term is being skipped at scale")
 
 
 def test_em3d_weak_scaling(once, report):
-    costs = once(run_scaling)
+    costs = once(lambda: run_curve(SMALL_PES, NODES_PER_PE, DEGREE)[0])
 
     # Per-edge cost is roughly flat: growing the machine 4x costs
     # under 40% per edge (hop lengths + barrier + plan skew).
-    assert costs[8] < 1.4 * costs[2]
-    # And it never *shrinks* dramatically either (no fake speedup).
-    assert costs[8] > 0.7 * costs[2]
+    _assert_flat(costs, 1.4)
 
     report(format_comparison(
-        [(f"{p} PEs (us/edge)", costs[2], c, "us")
+        [(f"{p} PEs (us/edge)", costs[min(costs)], c, "us")
          for p, c in sorted(costs.items())],
         title="Extension: EM3D weak scaling (paper column = 2-PE "
         "baseline; flat is good)"))
+
+
+def test_em3d_weak_scaling_large(once, report):
+    pes = scaling_pes()
+    costs, walls = once(lambda: run_curve(pes, LARGE_NODES_PER_PE,
+                                          LARGE_DEGREE))
+
+    _assert_flat(costs, FLATNESS_BOUND)
+
+    CURVE_PATH.write_text(json.dumps({
+        "schema": "scaling-curve-v1",
+        "benchmark": "test_em3d_weak_scaling_large",
+        "nodes_per_pe": LARGE_NODES_PER_PE,
+        "degree": LARGE_DEGREE,
+        "fraction": FRACTION,
+        "us_per_edge": {str(p): round(c, 6) for p, c in costs.items()},
+        "wall_seconds": {str(p): round(w, 3) for p, w in walls.items()},
+    }, indent=2, sort_keys=True) + "\n")
+
+    report(format_comparison(
+        [(f"{p} PEs (us/edge)", costs[min(costs)], c, "us")
+         for p, c in sorted(costs.items())],
+        title="Extension: EM3D weak scaling, cohort tier (paper column "
+        "= smallest machine; flat is good)"))

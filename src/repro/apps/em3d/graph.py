@@ -34,6 +34,13 @@ class CommPlan:
     needed: list[dict[int, list[int]]]
     #: ghost_slot[c][(s, idx)] -> slot number on consumer c.
     ghost_slot: list[dict[tuple[int, int], int]]
+    #: senders[s] -> [(consumer, idxs, slot_base)] for every consumer
+    #: that reads from source ``s`` (consumer-ascending).  The inverse
+    #: of ``needed``: producers iterate their own consumer list instead
+    #: of scanning all N processors per fill phase.  ``idxs`` aliases
+    #: ``needed[consumer][s]`` and the consumer's ghost slots for this
+    #: source are ``slot_base + k`` in that order.
+    senders: list[list[tuple[int, list[int], int]]] = field(default=None)
 
     def ghost_count(self, consumer: int) -> int:
         return len(self.ghost_slot[consumer])
@@ -96,15 +103,19 @@ def _build_plan(adj, num_pes: int) -> CommPlan:
         for by_src in needed_sets
     ]
     ghost_slot: list[dict[tuple[int, int], int]] = []
+    senders: list[list[tuple[int, list[int], int]]] = [
+        [] for _ in range(num_pes)]
     for consumer in range(num_pes):
         slots: dict[tuple[int, int], int] = {}
         slot = 0
         for s in sorted(needed[consumer]):
-            for idx in needed[consumer][s]:
+            idxs = needed[consumer][s]
+            senders[s].append((consumer, idxs, slot))
+            for idx in idxs:
                 slots[(s, idx)] = slot
                 slot += 1
         ghost_slot.append(slots)
-    return CommPlan(needed=needed, ghost_slot=ghost_slot)
+    return CommPlan(needed=needed, ghost_slot=ghost_slot, senders=senders)
 
 
 def make_graph(num_pes: int, nodes_per_pe: int, degree: int,

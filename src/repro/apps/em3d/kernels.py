@@ -526,6 +526,8 @@ def _compute_phase_local_fast(ctx, n: int, degree: int, adj_base: int,
             retire += drain / capacity
             wb._last_retire = retire
             wb_pending.append(PendingWrite(line, start, retire, {a: acc}))
+            if len(wb_pending) == 1 and wb.settle_queue is not None:
+                wb.settle_queue.append(wb)
             clock += issue_cycles + stall
     ctx.clock = clock
     l1.hits += l1_h
@@ -613,46 +615,33 @@ def _ghost_fill_puts(sc, graph, layout, direction: str):
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
-    local_read = ctx.local_read
-    put_to = sc.put_to
     start_clock = ctx.clock if _trace.TRACE_ENABLED else 0.0
     pushed = 0
     fast = USE_FAST_FILL and sc.trace is None
+    # The plan's sender lists invert the needed[][] map: each producer
+    # iterates only its own consumers instead of scanning every
+    # processor, and a consumer's ghost slots for this source are
+    # ``slot_base + k`` in list order — the same (consumer, idx)
+    # sequence the full scan visited.  The whole phase goes to
+    # put_scatter in one call so its set-up amortizes across every
+    # consumer group (groups are tiny at high processor counts).
     if fast:
-        annex = ctx.node.annex
-        annex_setup = sc.annex_policy.setup
-        compose = annex.compose_address
-        remote_store = ctx.node.remote.store
-        put_extra = ctx.node.params.shell.remote.splitc_put_extra_cycles
-        record_stat = sc.stats.record
-        rec = None
-    for consumer in range(graph.num_pes):
-        if consumer == me:
-            continue
-        idxs = plan.needed[consumer].get(me)
-        if not idxs:
-            continue
-        slots = plan.ghost_slot[consumer]
-        for idx in idxs:
-            slot = slots[(me, idx)]
-            value = local_read(vals + idx * VALUE_BYTES)
-            addr = ghosts + slot * VALUE_BYTES
-            if fast:
-                before = ctx.clock
-                index, cyc = annex_setup(annex, consumer)
-                clock = before + cyc
-                cyc = remote_store(clock, consumer, addr, value,
-                                   compose(index, addr))
-                ctx.clock = clock + cyc + put_extra
-                if rec is None:
-                    record_stat("put (issue)", ctx.clock - before)
-                    rec = sc.stats.ops["put (issue)"]
-                else:
-                    rec.count += 1
-                    rec.cycles += ctx.clock - before
-            else:
-                put_to(consumer, addr, value)
-            pushed += 1
+        groups = []
+        for consumer, idxs, base in plan.senders[me]:
+            pairs = [(vals + idx * VALUE_BYTES,
+                      ghosts + (base + k) * VALUE_BYTES)
+                     for k, idx in enumerate(idxs)]
+            groups.append((consumer, pairs))
+            pushed += len(pairs)
+        sc.put_scatter(groups)
+    else:
+        local_read = ctx.local_read
+        for consumer, idxs, base in plan.senders[me]:
+            for k, idx in enumerate(idxs):
+                sc.put_to(consumer,
+                          ghosts + (base + k) * VALUE_BYTES,
+                          local_read(vals + idx * VALUE_BYTES))
+                pushed += 1
     # Completion is deferred to the all_store_sync that follows.
     if _trace.TRACE_ENABLED:
         _trace.emit("annex_ghost_fill", t=start_clock, pe=me,
@@ -667,13 +656,9 @@ def _gather_and_bulk(sc, graph, layout, direction: str):
     vals = layout.h_vals if direction == "e" else layout.e_vals
     ghosts = layout.e_ghosts if direction == "e" else layout.h_ghosts
     me = sc.my_pe
-    # Gather: my values needed by each consumer, in the agreed order.
-    for consumer in range(graph.num_pes):
-        if consumer == me:
-            continue
-        idxs = plan.needed[consumer].get(me)
-        if not idxs:
-            continue
+    # Gather: my values needed by each consumer, in the agreed order
+    # (the plan's sender lists replace the all-processor scan).
+    for consumer, idxs, _base in plan.senders[me]:
         buf = layout.gather + consumer * layout.gather_pair_words * WORD_BYTES
         for k, idx in enumerate(idxs):
             value = sc.ctx.local_read(vals + idx * VALUE_BYTES)

@@ -1,0 +1,213 @@
+"""Named SPMD exchange workloads: reproducible communication scripts.
+
+Promoted from the property suite's randomized phase-script programs
+(``tests/properties/test_spmd_random_programs.py``): a *phase script*
+is, per processor, a list of phases, each phase a list of
+``(dest_pe, slot)`` puts followed by a ``sync`` and a global barrier.
+The shape is tiny but it exercises exactly the machinery the real
+applications stress — put pipelines, acknowledgement waits, barrier
+epochs with uneven arrival, idle processors — which makes the named
+instances below good golden subjects for the scheduler-equivalence
+suite (every workload must time identically under the event-at-a-time
+and the cohort schedulers).
+
+Three layers:
+
+* :func:`make_program` / :func:`expected_landings` /
+  :func:`check_results` — the scenario generator the property test and
+  the named workloads share;
+* :func:`random_scripts` — seeded random scripts, the deterministic
+  analogue of the Hypothesis strategy;
+* :data:`WORKLOADS` — ~6 named, documented instances covering distinct
+  communication patterns (neighbor shift, incast, all-to-all, sparse
+  random traffic, skewed phase counts, mostly-idle machines).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.runtime import run_splitc
+
+__all__ = [
+    "SLOTS", "SLOT_BYTES", "Workload", "WORKLOADS", "make_program",
+    "expected_landings", "check_results", "random_scripts",
+    "run_workload",
+]
+
+#: Mailbox slots per processor; every script addresses slots
+#: ``0 .. SLOTS-1`` at every destination.
+SLOTS = 8
+#: One word per slot.
+SLOT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named phase-script workload."""
+
+    name: str
+    num_pes: int
+    #: ``scripts[pe]`` is a tuple of phases; each phase a tuple of
+    #: ``(dest_pe, slot)`` puts.
+    scripts: tuple
+    doc: str
+
+
+def make_program(scripts, slots: int = SLOTS):
+    """The SPMD program (a ``run_splitc`` generator) for ``scripts``.
+
+    Each processor walks the global phase count; in phases where its
+    own script has work it issues the puts and syncs, and every phase
+    ends at the global barrier.  Returns each processor's final
+    mailbox (``{slot: value}``); landed values are ``(phase, writer)``
+    tuples.
+    """
+    num_phases = max(len(s) for s in scripts)
+
+    def program(sc):
+        base = sc.all_alloc(slots * SLOT_BYTES)
+        script = scripts[sc.my_pe]
+        for phase in range(num_phases):
+            if phase < len(script):
+                for dest, slot in script[phase]:
+                    sc.put(GlobalPtr(dest, base + slot * SLOT_BYTES),
+                           (phase, sc.my_pe))
+                sc.sync()
+            yield from sc.barrier()
+        return {slot: sc.ctx.node.memsys.memory.load(
+                    base + slot * SLOT_BYTES)
+                for slot in range(slots)}
+
+    return program
+
+
+def expected_landings(scripts):
+    """``(dest, slot) -> (last_phase, legal_writers)`` for ``scripts``.
+
+    The landed value must come from the *last* phase that wrote the
+    slot; within that phase concurrent writers race, so any of the
+    phase's writers is legal.
+    """
+    last_phase: dict = {}
+    num_phases = max(len(s) for s in scripts)
+    for phase in range(num_phases):
+        for pe, script in enumerate(scripts):
+            if phase < len(script):
+                for dest, slot in script[phase]:
+                    last_phase[(dest, slot)] = phase
+    landings = {}
+    for (dest, slot), phase in last_phase.items():
+        writers = frozenset(
+            pe for pe, script in enumerate(scripts)
+            if phase < len(script) and any(
+                d == dest and s == slot for d, s in script[phase]))
+        landings[(dest, slot)] = (phase, writers)
+    return landings
+
+
+def check_results(scripts, results) -> None:
+    """Assert ``results`` (per-PE mailboxes) honor the script order."""
+    for (dest, slot), (phase, writers) in expected_landings(
+            scripts).items():
+        got = results[dest][slot]
+        assert got != 0, f"slot ({dest}, {slot}) never written"
+        got_phase, got_writer = got
+        assert got_phase == phase, (dest, slot, got)
+        assert got_writer in writers, (dest, slot, got)
+
+
+def random_scripts(num_pes: int, seed: int, max_phases: int = 4,
+                   max_puts: int = 5, slots: int = SLOTS):
+    """Seeded random phase scripts — the deterministic analogue of the
+    property test's Hypothesis strategy."""
+    rng = random.Random(seed)
+    return tuple(
+        tuple(
+            tuple((rng.randrange(num_pes), rng.randrange(slots))
+                  for _ in range(rng.randint(0, max_puts)))
+            for _ in range(rng.randint(1, max_phases)))
+        for _ in range(num_pes))
+
+
+def _ring_shift(num_pes: int, phases: int = 3):
+    """Every phase, each processor posts into its right neighbor."""
+    return tuple(
+        tuple(((  (pe + 1) % num_pes, phase % SLOTS),)
+              for phase in range(phases))
+        for pe in range(num_pes))
+
+
+def _hotspot(num_pes: int, phases: int = 2):
+    """Everyone floods processor 0 — the incast shape whose target-
+    interface serialization the remote unit models."""
+    return tuple(
+        tuple(tuple((0, slot) for slot in range(SLOTS))
+              for _ in range(phases))
+        for _pe in range(num_pes))
+
+
+def _all_to_all(num_pes: int):
+    """One phase; each processor posts one slot at every processor."""
+    return tuple(
+        (tuple((dest, pe % SLOTS) for dest in range(num_pes)),)
+        for pe in range(num_pes))
+
+
+def _phase_skew(num_pes: int):
+    """Processor ``pe`` participates in ``pe + 1`` phases: uneven
+    barrier arrival, with late phases carried by few processors."""
+    return tuple(
+        tuple(((  (pe + phase) % num_pes, phase % SLOTS),)
+              for phase in range(pe + 1))
+        for pe in range(num_pes))
+
+
+def _silent_peers(num_pes: int, phases: int = 2):
+    """Only even processors communicate; the rest just hit barriers —
+    the mostly-idle machine a scheduler must not spin on."""
+    return tuple(
+        tuple((((pe + 2) % num_pes, pe % SLOTS),) if pe % 2 == 0
+              else ()
+              for _ in range(phases))
+        for pe in range(num_pes))
+
+
+def _named(builders) -> dict:
+    out = {}
+    for name, scripts, doc in builders:
+        out[name] = Workload(name=name, num_pes=len(scripts),
+                             scripts=scripts, doc=doc)
+    return out
+
+
+#: The named workloads, all sized for a 4-processor (2, 2, 1) machine.
+WORKLOADS: dict[str, Workload] = _named([
+    ("ring-shift", _ring_shift(4),
+     "nearest-neighbor pipeline: each phase shifts one word right"),
+    ("hotspot", _hotspot(4),
+     "all processors flood processor 0's mailbox (incast)"),
+    ("all-to-all", _all_to_all(4),
+     "single dense exchange phase: everyone posts at everyone"),
+    ("sparse-random", random_scripts(4, seed=1995),
+     "seeded random traffic, the property test's distribution"),
+    ("phase-skew", _phase_skew(4),
+     "processor pe runs pe+1 phases: uneven barrier arrival"),
+    ("silent-peers", _silent_peers(4),
+     "half the machine never communicates, only synchronizes"),
+])
+
+
+def run_workload(machine, name: str):
+    """Run one named workload on ``machine``; checks delivery and
+    returns the per-PE mailboxes."""
+    workload = WORKLOADS[name]
+    if machine.num_nodes != workload.num_pes:
+        raise ValueError(
+            f"workload {name!r} wants {workload.num_pes} processors, "
+            f"machine has {machine.num_nodes}")
+    results, _ = run_splitc(machine, make_program(workload.scripts))
+    check_results(workload.scripts, results)
+    return results

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.params import CYCLE_NS, WORD_BYTES
-from repro.splitc.gptr import GlobalPtr
 from repro.splitc.runtime import run_splitc
 
 __all__ = ["StencilResult", "run_stencil"]
@@ -92,13 +91,17 @@ def run_stencil(machine, cells_per_pe: int = 64, steps: int = 4,
 
         for step in range(steps):
             parity = step % 2
-            # Push boundary cells into the neighbors' ghosts.
+            # Push boundary cells into the neighbors' ghosts: one
+            # scattered-put phase (a signaling store per neighbor).
+            halo = []
             if left is not None:
-                sc.store(GlobalPtr(left, ghost_addr(1, parity)),
-                         ctx.local_read(cell_addr(0)))
+                halo.append(
+                    (left, [(cell_addr(0), ghost_addr(1, parity))]))
             if right is not None:
-                sc.store(GlobalPtr(right, ghost_addr(0, parity)),
-                         ctx.local_read(cell_addr(cells_per_pe - 1)))
+                halo.append(
+                    (right, [(cell_addr(cells_per_pe - 1),
+                              ghost_addr(0, parity))]))
+            sc.put_scatter(halo)
             if sync_style == "bulk_synchronous":
                 yield from sc.all_store_sync()
             else:

@@ -11,6 +11,10 @@ Three exchange strategies are compared:
   the crossover, BLT above it), one strided gather per tile row;
 * ``"blt"``     — force the BLT for every tile, showing the start-up
   cost drowning small tiles.
+* ``"puts"``    — push instead of pull: every owner scatters its tile
+  elements straight into the consumers' transposed positions with one
+  scattered-put phase (``put_scatter``), then one ``all_store_sync``
+  retires the whole exchange.
 
 All strategies produce the same transposed matrix (verified against a
 sequential transpose); tile size decides the winner, mirroring the
@@ -28,7 +32,7 @@ from repro.splitc.runtime import run_splitc
 
 __all__ = ["TransposeResult", "run_transpose"]
 
-STRATEGIES = ("reads", "bulk", "blt")
+STRATEGIES = ("reads", "bulk", "blt", "puts")
 
 
 @dataclass
@@ -76,6 +80,36 @@ def run_transpose(machine, n: int, strategy: str = "bulk") -> TransposeResult:
                                              float(row * n + col))
         yield from sc.barrier()
         start = ctx.clock
+
+        if strategy == "puts":
+            # Push-based all-to-all: I own block rows me*rpp.., and
+            # element (r, c) of mine lands at (c, r) — local row
+            # c - dst_pe*rpp on the processor dst_pe owning row c.
+            # One scattered-put phase covers every consumer; the
+            # all_store_sync retires the whole exchange.
+            groups = []
+            for dst_pe in range(num_pes):
+                pairs = [
+                    (src_addr(tr, col),
+                     dst_addr(col - dst_pe * rows_per_pe,
+                              me * rows_per_pe + tr))
+                    for tr in range(rows_per_pe)
+                    for col in range(dst_pe * rows_per_pe,
+                                     (dst_pe + 1) * rows_per_pe)
+                ]
+                groups.append((dst_pe, pairs))
+            sc.put_scatter(groups)
+            # all_store_sync's barrier completes only after everyone's
+            # stores are acknowledged, so the tiles have landed.
+            yield from sc.all_store_sync()
+            elapsed = ctx.clock - start
+            ctx.memory_barrier()
+            mine = [
+                [ctx.node.memsys.memory.load(dst_addr(lr, col))
+                 for col in range(n)]
+                for lr in range(rows_per_pe)
+            ]
+            return elapsed, mine
 
         # My transposed rows are the old columns me*rpp .. — for each
         # source processor, I need the (rows_per_pe x rows_per_pe)

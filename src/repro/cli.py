@@ -39,6 +39,11 @@ def _cmd_experiments(args) -> int:
         # sweep-engine workers inherit the environment.
         import os
         os.environ["REPRO_VECTOR"] = "0"
+    if args.no_cohort:
+        # run_spmd consults REPRO_COHORT per run; forcing it off pins
+        # every experiment to the event-at-a-time reference scheduler.
+        import os
+        os.environ["REPRO_COHORT"] = "0"
     use_cache = False if args.no_cache else None
     if args.json:
         import json
@@ -293,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-vector", action="store_true",
                    help="disable the vectorized compute tier "
                         "(repro.vector); equivalent to REPRO_VECTOR=0")
+    p.add_argument("--no-cohort", action="store_true",
+                   help="disable the cohort-batched scheduler and its "
+                        "flattened put kernels; equivalent to "
+                        "REPRO_COHORT=0")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore the persistent result cache and "
                         "recompute every experiment")

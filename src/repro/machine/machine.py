@@ -7,6 +7,7 @@ and routes store-arrival notifications to the receiving node's log.
 
 from __future__ import annotations
 
+from repro.machine.cohort import CohortScheduler, cohort_enabled
 from repro.machine.context import Context
 from repro.machine.node import Node
 from repro.network.torus import Torus
@@ -29,6 +30,14 @@ class Machine:
             Node(pe, self.params, fabric=self)
             for pe in range(self.torus.num_nodes)
         ]
+        # Registry of write buffers holding pending entries: a buffer
+        # appends itself on its empty->nonempty transition, so
+        # ``settle`` visits only buffers with scheduled work instead of
+        # sweeping all N nodes (per-waiter settles made that O(N^2)
+        # per barrier epoch).
+        self._dirty_buffers: list = []
+        for node in self.nodes:
+            node.memsys.write_buffer.settle_queue = self._dirty_buffers
 
     @property
     def num_nodes(self) -> int:
@@ -69,9 +78,14 @@ class Machine:
         scheduled.  Called by the scheduler when threads are blocked on
         data that has been issued but not yet flushed; it never moves
         any clock, it only makes already-determined effects visible.
+
+        Only buffers registered dirty since their last settle are
+        flushed; a retiring remote store's callback may dirty another
+        buffer mid-drain, so the registry is drained as a worklist.
         """
-        for node in self.nodes:
-            node.memsys.write_buffer.flush_retired(float("inf"))
+        dirty = self._dirty_buffers
+        while dirty:
+            dirty.pop().flush_retired(float("inf"))
 
     # ------------------------------------------------------------------
     # Execution
@@ -88,7 +102,10 @@ class Machine:
         values and the contexts (whose clocks hold per-PE finish times).
         """
         contexts = self.make_contexts()
-        scheduler = SpmdScheduler(self)
+        if cohort_enabled() and len(contexts) > 1:
+            scheduler = CohortScheduler(self)
+        else:
+            scheduler = SpmdScheduler(self)
         results = scheduler.run(contexts, program, *args, **kwargs)
         return results, contexts
 
@@ -97,3 +114,4 @@ class Machine:
         for node in self.nodes:
             node.reset()
         self.barrier.reset()
+        self._dirty_buffers.clear()

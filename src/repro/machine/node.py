@@ -82,6 +82,14 @@ class Node:
         # the plain Split-C ``store_sync`` and the region-scoped
         # extension used by message-driven phase counting.
         self._arrivals: list[tuple[float, int, int]] = []
+        # Running unscoped total, so the store_sync fast path does not
+        # re-sum the whole log per poll.
+        self._arrived_total = 0
+        #: Wake-event list installed by the cohort scheduler
+        #: (:mod:`repro.machine.cohort`): each recorded arrival appends
+        #: a ``("y", pe)`` event — the only state change that can make
+        #: a blocked BytesArrivedCondition on this node ready.
+        self.wake_sink: list | None = None
 
     def reset(self) -> None:
         """Cold-start the node (between benchmark runs)."""
@@ -91,6 +99,7 @@ class Node:
         self.atomics.reset()
         self.msgq.reset()
         self._arrivals = []
+        self._arrived_total = 0
         self.inbound_busy_until = 0.0
 
     # ------------------------------------------------------------------
@@ -102,12 +111,22 @@ class Node:
         """Log ``nbytes`` landing at ``arrival_time`` near ``addr``.
 
         Arrivals from different senders are not time-ordered; the log
-        keeps them sorted so cumulative queries stay correct.
+        keeps them sorted so cumulative queries stay correct.  The
+        common case — an arrival no earlier than the latest logged —
+        appends in O(1); equal times land after existing entries either
+        way, matching the bisect placement.
         """
         entry = (arrival_time, nbytes, addr)
-        index = bisect.bisect_right(self._arrivals, (arrival_time,
-                                                     float("inf"), 0))
-        self._arrivals.insert(index, entry)
+        arrivals = self._arrivals
+        if not arrivals or arrival_time >= arrivals[-1][0]:
+            arrivals.append(entry)
+        else:
+            index = bisect.bisect_right(arrivals, (arrival_time,
+                                                   float("inf"), 0))
+            arrivals.insert(index, entry)
+        self._arrived_total += nbytes
+        if self.wake_sink is not None:
+            self.wake_sink.append(("y", self.pe))
 
     def _in_region(self, addr: int, region) -> bool:
         if region is None:
@@ -118,6 +137,8 @@ class Node:
     def bytes_arrived_total(self, region=None) -> int:
         """All bytes stored into this node (optionally only those
         landing in the half-open address ``region``)."""
+        if region is None:
+            return self._arrived_total
         return sum(nbytes for _t, nbytes, addr in self._arrivals
                    if self._in_region(addr, region))
 

@@ -4,7 +4,39 @@ from __future__ import annotations
 
 from repro.params import NetworkParams
 
-__all__ = ["Torus"]
+__all__ = ["Torus", "balanced_torus_shape"]
+
+
+def balanced_torus_shape(num_pes: int) -> tuple[int, int, int]:
+    """The most balanced ``(x, y, z)`` torus factorization of
+    ``num_pes``, largest dimension first.
+
+    Peels the prime factors of ``num_pes`` largest-first, each onto the
+    currently smallest dimension — the shapes the real T3D shipped in
+    (``16 -> (4, 2, 2)``, ``256 -> (8, 8, 4)``, ``1024 -> (16, 8, 8)``)
+    fall out of powers of two, and non-powers still factor sensibly
+    (``12 -> (3, 2, 2)``).  Every experiment and benchmark that sweeps
+    machine size derives its shapes here instead of keeping its own
+    table.
+    """
+    if num_pes < 1:
+        raise ValueError(f"need at least one processor, got {num_pes}")
+    factors = []
+    n = num_pes
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            factors.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        factors.append(n)
+    dims = [1, 1, 1]
+    for factor in sorted(factors, reverse=True):
+        dims.sort()
+        dims[0] *= factor
+    x, y, z = sorted(dims, reverse=True)
+    return (x, y, z)
 
 
 class Torus:

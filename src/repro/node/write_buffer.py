@@ -86,6 +86,11 @@ class WriteBuffer:
         #: Processor identity for trace attribution; set by the owning
         #: Node (a bare memory system has none).
         self.owner_pe: int | None = None
+        #: Dirty-buffer registry shared with the owning Machine: the
+        #: buffer appends itself on each empty->nonempty transition so
+        #: ``Machine.settle`` only visits buffers with pending entries.
+        #: A bare memory system (no machine) leaves this None.
+        self.settle_queue: list | None = None
         if _trace.TRACE_ENABLED:
             _trace.TRACER.register_provider("write_buffer", self)
 
@@ -188,6 +193,8 @@ class WriteBuffer:
                          words={word: value}, apply_words=apply_words,
                          on_retire=on_retire)
         )
+        if len(self._pending) == 1 and self.settle_queue is not None:
+            self.settle_queue.append(self)
         if _trace.TRACE_ENABLED:
             _trace.emit("wb_push", t=now, pe=self.owner_pe, line=line,
                         stall=stall, retire=retire)
@@ -218,6 +225,8 @@ class WriteBuffer:
             PendingWrite(line_addr=line, enqueue_time=start,
                          retire_time=retire, words={word: value})
         )
+        if len(self._pending) == 1 and self.settle_queue is not None:
+            self.settle_queue.append(self)
         if _trace.TRACE_ENABLED:
             _trace.emit("wb_push", t=now, pe=self.owner_pe, line=line,
                         stall=stall, retire=retire)

@@ -31,7 +31,12 @@ class HardwareBarrier:
         self._arrivals: dict[int, dict[int, float]] = {}
         self._ended: dict[int, set[int]] = {}
         self._epoch_of_pe = [0] * num_pes
+        self._settle_cache: dict[int, float] = {}
         self.barriers_completed = 0
+        #: Wake-event list installed by the cohort scheduler
+        #: (:mod:`repro.machine.cohort`); ``start`` appends a
+        #: ``("b", epoch)`` event when the last processor arrives.
+        self.wake_sink: list | None = None
         if _trace.TRACE_ENABLED:
             _trace.TRACER.register_provider("barrier", self)
 
@@ -44,6 +49,7 @@ class HardwareBarrier:
         self._arrivals = {}
         self._ended = {}
         self._epoch_of_pe = [0] * self.num_pes
+        self._settle_cache = {}
         self.barriers_completed = 0
 
     def start(self, pe: int, now: float) -> tuple[float, int]:
@@ -60,6 +66,10 @@ class HardwareBarrier:
         arrivals[pe] = now + self.params.start_cycles
         if _trace.TRACE_ENABLED:
             _trace.emit("barrier_start", t=now, pe=pe, epoch=epoch)
+        if self.wake_sink is not None and len(arrivals) == self.num_pes:
+            # The wired-OR completes exactly on the last arrival: the
+            # only moment a blocked BarrierCondition can become ready.
+            self.wake_sink.append(("b", epoch))
         return self.params.start_cycles, epoch
 
     def all_arrived(self, epoch: int) -> bool:
@@ -70,12 +80,20 @@ class HardwareBarrier:
         """Time at which the tree output settles for an epoch.
 
         Only meaningful once :meth:`all_arrived`; the wired OR settles
-        a propagation delay after the last arrival.
+        a propagation delay after the last arrival.  The result is
+        memoized per epoch — arrivals are frozen once the epoch is
+        full, and every waiter asks, so the max-scan would otherwise
+        cost O(num_pes) per waiter (O(num_pes^2) per epoch).
         """
+        cached = self._settle_cache.get(epoch)
+        if cached is not None:
+            return cached
         arrivals = self._arrivals.get(epoch, {})
         if len(arrivals) < self.num_pes:
             raise RuntimeError(f"epoch {epoch} not fully arrived")
-        return max(arrivals.values()) + self.params.propagate_cycles
+        settle = max(arrivals.values()) + self.params.propagate_cycles
+        self._settle_cache[epoch] = settle
+        return settle
 
     def wait(self, pe: int, epoch: int, now: float) -> float:
         """Poll the tree until the epoch settles; returns exit time."""
@@ -98,6 +116,7 @@ class HardwareBarrier:
         if len(ended) == self.num_pes:
             self._arrivals.pop(epoch, None)
             self._ended.pop(epoch, None)
+            self._settle_cache.pop(epoch, None)
             self.barriers_completed += 1
         return self.params.end_cycles
 

@@ -107,9 +107,63 @@ class RemoteAccessUnit:
                 ms.memory.load,
                 ms.memory.store,
                 ms.l1.invalidate,
+                self._make_on_retire(pe, node, ms),
+                ms.dram,
             )
             self._peer_cache[pe] = info
         return info
+
+    def _make_on_retire(self, pe: int, target, target_memsys):
+        """The write-buffer retirement callback for stores to ``pe``.
+
+        The callback depends only on per-target constants plus the
+        retiring entry itself, so one closure per peer serves every
+        store — building a fresh closure per store was a measurable
+        cost in the ghost-fill hot loop.
+        """
+        flight = self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles
+        access_with = target_memsys.dram.access_with
+        same_bank = target_memsys.params.dram.same_bank_cycles
+        mem_store = target_memsys.memory.store
+        l1_invalidate = target_memsys.l1.invalidate
+        params = self.params
+
+        def on_retire(entry):
+            # Target-interface serialization: one sender's stream never
+            # queues (service rate = injection rate), but converging
+            # senders do — incast congestion.
+            arrival = max(entry.retire_time + flight,
+                          target.inbound_busy_until)
+            target.inbound_busy_until = (
+                arrival + params.target_service_cycles)
+            mem_cycles = access_with(
+                entry.line_addr & LOCAL_ADDR_MASK,
+                params.remote_off_page_cycles, same_bank)
+            nbytes = 0
+            for waddr, wvalue in entry.words.items():
+                local = waddr & LOCAL_ADDR_MASK
+                mem_store(local, wvalue)
+                l1_invalidate(local)
+                nbytes += WORD_BYTES
+            ack_time = (
+                arrival + mem_cycles + flight
+                + params.write_ack_overhead_cycles
+            )
+            self._acks.append(
+                AckRecord(drain_time=entry.retire_time, ack_time=ack_time,
+                          nbytes=nbytes)
+            )
+            if _trace.TRACE_ENABLED:
+                _trace.emit("remote_ack", t=entry.retire_time,
+                            pe=self.my_pe, target=pe, nbytes=nbytes,
+                            ack_time=ack_time)
+            self.fabric.notify_store_arrival(
+                src_pe=self.my_pe, dst_pe=pe, nbytes=nbytes,
+                arrival_time=arrival + mem_cycles,
+                addr=entry.line_addr & LOCAL_ADDR_MASK,
+            )
+
+        return on_retire
 
     def _flight(self, pe: int) -> float:
         return self._peer(pe)[1]
@@ -214,8 +268,8 @@ class RemoteAccessUnit:
         # The drain rate feels the target memory controller: a store
         # stream that misses the remote DRAM page on every line (16 KB
         # strides) backs the pipeline up — Figure 7's inflection.
-        (target, flight, access_with, peek_access_with, same_bank,
-         access_cycles, _load, mem_store, l1_invalidate) = self._peer(pe)
+        peer = self._peer(pe)
+        peek_access_with, same_bank, access_cycles = peer[3], peer[4], peer[5]
         drain = self.params.store_drain_cycles + (
             peek_access_with(
                 offset & LOCAL_ADDR_MASK,
@@ -223,45 +277,9 @@ class RemoteAccessUnit:
                 same_bank,
             ) - access_cycles
         )
-
-        def on_retire(entry, _pe=pe):
-            # Target-interface serialization: one sender's stream never
-            # queues (service rate = injection rate), but converging
-            # senders do — incast congestion.
-            arrival = max(entry.retire_time + flight,
-                          target.inbound_busy_until)
-            target.inbound_busy_until = (
-                arrival + self.params.target_service_cycles)
-            mem_cycles = access_with(
-                entry.line_addr & LOCAL_ADDR_MASK,
-                self.params.remote_off_page_cycles, same_bank)
-            nbytes = 0
-            for waddr, wvalue in entry.words.items():
-                local = waddr & LOCAL_ADDR_MASK
-                mem_store(local, wvalue)
-                l1_invalidate(local)
-                nbytes += WORD_BYTES
-            ack_time = (
-                arrival + mem_cycles + flight
-                + self.params.write_ack_overhead_cycles
-            )
-            self._acks.append(
-                AckRecord(drain_time=entry.retire_time, ack_time=ack_time,
-                          nbytes=nbytes)
-            )
-            if _trace.TRACE_ENABLED:
-                _trace.emit("remote_ack", t=entry.retire_time,
-                            pe=self.my_pe, target=_pe, nbytes=nbytes,
-                            ack_time=ack_time)
-            self.fabric.notify_store_arrival(
-                src_pe=self.my_pe, dst_pe=_pe, nbytes=nbytes,
-                arrival_time=arrival + mem_cycles,
-                addr=entry.line_addr & LOCAL_ADDR_MASK,
-            )
-
         cycles = self.memsys.write_buffer.push(
             now, full_addr, value, drain,
-            apply_words=False, on_retire=on_retire,
+            apply_words=False, on_retire=peer[9],
         )
         if _trace.TRACE_ENABLED:
             _trace.emit("remote_store", t=now, pe=self.my_pe, target=pe,

@@ -210,6 +210,15 @@ EVENT_TYPES: dict[str, EventSpec] = {spec.name: spec for spec in [
         "``t`` is the thread's clock at resumption.",
         # No extra fields: the (t, pe) base pair says it all.
     ),
+    _spec(
+        "cohort_round", "scheduler",
+        "The cohort scheduler woke a batch of blocked threads after a "
+        "wake event (machine/cohort.py); ``t`` and ``pe`` are null — "
+        "a round is a scheduler-level step, not a per-processor one.",
+        woken=Field(_int, "threads", "threads moved to the run queue"),
+        runnable=Field(_int, "threads", "run-queue size after the wake"),
+        blocked=Field(_int, "threads", "threads still blocked"),
+    ),
     # --------------------------------------------------------------- apps
     _spec(
         "annex_ghost_fill", "em3d",

@@ -1,8 +1,10 @@
 """Unit tests for the 3D torus topology."""
 
+import math
+
 import pytest
 
-from repro.network.torus import Torus
+from repro.network.torus import Torus, balanced_torus_shape
 from repro.params import NetworkParams
 
 
@@ -77,3 +79,32 @@ def test_bad_inputs_rejected():
         t.node_at((2, 0, 0))
     with pytest.raises(ValueError):
         Torus(NetworkParams(shape=(0, 1, 1)))
+
+
+@pytest.mark.parametrize("num_pes,expected", [
+    (1, (1, 1, 1)),
+    (2, (2, 1, 1)),
+    (4, (2, 2, 1)),
+    (8, (2, 2, 2)),
+    (16, (4, 2, 2)),
+    (64, (4, 4, 4)),
+    (256, (8, 8, 4)),
+    (1024, (16, 8, 8)),
+    (12, (3, 2, 2)),
+])
+def test_balanced_torus_shape_known_sizes(num_pes, expected):
+    assert balanced_torus_shape(num_pes) == expected
+
+
+def test_balanced_torus_shape_product_invariant():
+    for n in range(1, 200):
+        shape = balanced_torus_shape(n)
+        assert math.prod(shape) == n
+        assert shape == tuple(sorted(shape, reverse=True))
+
+
+def test_balanced_torus_shape_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        balanced_torus_shape(0)
+    with pytest.raises(ValueError):
+        balanced_torus_shape(-8)

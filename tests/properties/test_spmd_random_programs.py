@@ -1,11 +1,15 @@
 """Property-based tests: randomized SPMD programs complete without
-deadlock and deliver every value."""
+deadlock and deliver every value.
+
+The program builder and the delivery oracle live in
+``repro.apps.spmd_workloads`` — the same scenario generator behind the
+named workloads the scheduler-equivalence suite replays."""
 
 from hypothesis import given, settings, strategies as st
 
+from repro.apps.spmd_workloads import check_results, make_program
 from repro.machine.machine import Machine
 from repro.params import t3d_machine_params
-from repro.splitc.gptr import GlobalPtr
 from repro.splitc.runtime import run_splitc
 
 # A per-PE script: a list of phases; each phase is a list of
@@ -21,40 +25,5 @@ scripts = st.lists(                  # phases
 @settings(max_examples=20, deadline=None)
 def test_random_phase_programs_complete_and_deliver(per_pe_scripts):
     machine = Machine(t3d_machine_params((2, 2, 1)))
-    num_phases = max(len(s) for s in per_pe_scripts)
-    expected = {}        # (dest, slot) -> last writer by phase order
-    for phase in range(num_phases):
-        for pe, script in enumerate(per_pe_scripts):
-            if phase < len(script):
-                for dest, slot in script[phase]:
-                    expected[(dest, slot)] = (phase, pe)
-
-    def program(sc):
-        base = sc.all_alloc(8 * 8)
-        script = per_pe_scripts[sc.my_pe]
-        for phase in range(num_phases):
-            if phase < len(script):
-                for dest, slot in script[phase]:
-                    sc.put(GlobalPtr(dest, base + slot * 8),
-                           (phase, sc.my_pe))
-                sc.sync()
-            yield from sc.barrier()
-        values = {slot: sc.ctx.node.memsys.memory.load(base + slot * 8)
-                  for slot in range(8)}
-        return values
-
-    results, _ = run_splitc(machine, program)
-    for (dest, slot), (phase, _writer) in expected.items():
-        got = results[dest][slot]
-        assert got != 0, (dest, slot)
-        got_phase, got_writer = got
-        # The landed value comes from the last phase that wrote the
-        # slot (within a phase, concurrent writers race — any of that
-        # phase's writers is legal).
-        assert got_phase == phase
-        legal_writers = {
-            pe for pe, script in enumerate(per_pe_scripts)
-            if phase < len(script) and any(
-                d == dest and s == slot for d, s in script[phase])
-        }
-        assert got_writer in legal_writers
+    results, _ = run_splitc(machine, make_program(per_pe_scripts))
+    check_results(per_pe_scripts, results)

@@ -156,6 +156,44 @@ def test_documented_cli_flags_exist(doc):
         f"{doc} documents CLI flags that don't exist: {problems}")
 
 
+def test_every_env_knob_documented_in_performance_doc():
+    """Every ``REPRO_*`` environment variable the source consults is a
+    documented knob in docs/performance.md."""
+    consulted = set()
+    for path in (ROOT / "src").rglob("*.py"):
+        consulted |= set(re.findall(r"REPRO_[A-Z_]+", path.read_text()))
+    text = (ROOT / "docs/performance.md").read_text()
+    missing = sorted(v for v in consulted if v not in text)
+    assert not missing, (
+        f"docs/performance.md does not document env knobs: {missing}")
+
+
+def test_cohort_knob_documented_and_registered():
+    """The scheduler escape hatch exists in both spellings: the
+    ``--no-cohort`` flag on ``repro experiments`` and the
+    ``REPRO_COHORT`` variable, each covered by the docs."""
+    from repro.cli import build_parser
+    experiments = _subparser_choices(build_parser())["experiments"]
+    assert "--no-cohort" in _option_strings(experiments)
+    assert "--no-vector" in _option_strings(experiments)
+    for doc in ("docs/performance.md", "docs/timing_model.md"):
+        text = (ROOT / doc).read_text()
+        assert "REPRO_COHORT" in text, doc
+        assert "--no-cohort" in text, doc
+
+
+def test_weak_scaling_snapshot_matches_doc_claims():
+    """The committed BENCH_PR9 weak-scaling curve honors the flatness
+    bound docs/performance.md documents."""
+    import json
+    snapshot = json.loads((ROOT / "BENCH_PR9.json").read_text())
+    curve = snapshot["weak_scaling"]["us_per_edge"]
+    assert {"16", "64", "256", "1024"} <= set(curve)
+    assert curve["1024"] < 1.3 * curve["16"]
+    walls = snapshot["weak_scaling"]["wall_seconds"]
+    assert walls["1024"] <= 60.0
+
+
 # --------------------------------------------- model-catalog consistency
 
 def test_every_registered_model_documented_in_catalog():

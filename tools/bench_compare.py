@@ -19,6 +19,11 @@ the perf gate behind ``make bench-compare``.
   against the current simulator (``repro.reporting.models``), and any
   model missing its recorded MAPE gate counts as a regression — a
   *behavioral* drift check alongside the wall-clock one.
+* When both snapshots carry a ``weak_scaling`` section (``make
+  bench-scaling``), the per-PE-count us/edge points are diffed with the
+  same threshold: the metric is simulated time, so it is deterministic
+  and gets no noise floor — any point more than the threshold above the
+  baseline fails the gate.
 * ``--tiers`` additionally cross-checks the compute tiers: a small
   probe subset is run on the vectorized tier and on the fast/reference
   tiers (``REPRO_VECTOR=0``), and any numeric mismatch counts as a
@@ -58,6 +63,40 @@ def compare(base: dict, new: dict, threshold: float,
             regressions.append(
                 f"{name}: {b:.4f} s -> {n:.4f} s (+{100 * delta:.1f}%)")
         lines.append(f"  {tag:<10}{name}: {b:.4f} -> {n:.4f} s "
+                     f"({100 * delta:+.1f}%)")
+    return lines, regressions
+
+
+def compare_scaling(base: dict, new: dict,
+                    threshold: float) -> tuple[list[str], list[str]]:
+    """Diff the weak-scaling curves (us/edge per PE count).
+
+    Simulated per-edge cost is deterministic, so there is no noise
+    floor: a point rising past the threshold is a real perf regression
+    in the model's hot loops, not container jitter.  Points present in
+    only one snapshot (e.g. the 1024-PE point of a full sweep) are
+    reported but never fail."""
+    b_curve = (base.get("weak_scaling") or {}).get("us_per_edge") or {}
+    n_curve = (new.get("weak_scaling") or {}).get("us_per_edge") or {}
+    lines, regressions = [], []
+    if not b_curve and not n_curve:
+        return lines, regressions
+    for pe in sorted(set(b_curve) | set(n_curve), key=int):
+        b, n = b_curve.get(pe), n_curve.get(pe)
+        label = f"weak-scaling {pe} PEs"
+        if b is None:
+            lines.append(f"  NEW       {label}: {n:.4f} us/edge")
+            continue
+        if n is None:
+            lines.append(f"  DROPPED   {label} (was {b:.4f} us/edge)")
+            continue
+        delta = (n - b) / b if b > 0 else 0.0
+        tag = "ok"
+        if delta > threshold:
+            tag = "REGRESSED"
+            regressions.append(f"{label}: {b:.4f} -> {n:.4f} us/edge "
+                               f"(+{100 * delta:.1f}%)")
+        lines.append(f"  {tag:<10}{label}: {b:.4f} -> {n:.4f} us/edge "
                      f"({100 * delta:+.1f}%)")
     return lines, regressions
 
@@ -147,6 +186,10 @@ def main(argv=None) -> int:
 
     lines, regressions = compare(base, new, args.threshold,
                                  args.min_seconds)
+    scaling_lines, scaling_regressions = compare_scaling(
+        base, new, args.threshold)
+    lines.extend(scaling_lines)
+    regressions.extend(scaling_regressions)
     if args.models:
         from repro.reporting.models import check_artifact
         results, failures = check_artifact(path=args.models)

@@ -13,7 +13,13 @@ hit/miss totals) is embedded in the snapshot, so every number records
 *how* it was produced — a warm-cache replay and a cold serial run are
 not the same measurement.
 
-Usage: bench_snapshot.py RAW_JSON OUT_JSON [--meta FILE]
+With ``--scaling FILE`` the weak-scaling curve sidecar that
+``benchmarks/test_em3d_weak_scaling.py`` drops (``.scaling_curve.json``:
+per-PE-count us/edge and wall-clock seconds) is embedded as the
+snapshot's ``weak_scaling`` section, which ``bench_compare.py`` diffs
+point by point against the committed baseline.
+
+Usage: bench_snapshot.py RAW_JSON OUT_JSON [--meta FILE] [--scaling FILE]
 """
 
 from __future__ import annotations
@@ -52,7 +58,8 @@ VECTOR_HOT_BASELINES = {
 }
 
 
-def condense(raw: dict, meta: dict | None = None) -> dict:
+def condense(raw: dict, meta: dict | None = None,
+             scaling: dict | None = None) -> dict:
     means = {b["name"]: round(b["stats"]["mean"], 4)
              for b in raw["benchmarks"]}
     speedups = {
@@ -100,33 +107,49 @@ def condense(raw: dict, meta: dict | None = None) -> dict:
             "mean_speedup_vs_pr5": (round(sum(valid) / len(valid), 2)
                                     if valid else None),
         }
+    if scaling is not None:
+        curve = scaling.get("us_per_edge", {})
+        section = dict(scaling)
+        if curve:
+            ordered = sorted(curve.items(), key=lambda kv: int(kv[0]))
+            smallest, largest = ordered[0][1], ordered[-1][1]
+            section["flatness_ratio"] = (round(largest / smallest, 3)
+                                         if smallest > 0 else None)
+        snapshot["weak_scaling"] = section
     if meta is not None:
         snapshot["run_meta"] = meta
     return snapshot
 
 
+def _pop_json_option(args: list[str], flag: str) -> dict | None:
+    """Extract ``flag FILE`` from args; a missing or unreadable file
+    degrades to None (the snapshot simply omits that section)."""
+    if flag not in args:
+        return None
+    at = args.index(flag)
+    try:
+        path = args[at + 1]
+    except IndexError:
+        print(f"{flag} requires a file argument", file=sys.stderr)
+        raise SystemExit(2)
+    del args[at:at + 2]
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
 def main(argv: list[str]) -> int:
     args = list(argv[1:])
-    meta = None
-    if "--meta" in args:
-        at = args.index("--meta")
-        try:
-            meta_path = args[at + 1]
-        except IndexError:
-            print("--meta requires a file argument", file=sys.stderr)
-            return 2
-        del args[at:at + 2]
-        try:
-            with open(meta_path) as handle:
-                meta = json.load(handle)
-        except (OSError, ValueError):
-            meta = None     # a missing meta file degrades to v1 content
+    meta = _pop_json_option(args, "--meta")
+    scaling = _pop_json_option(args, "--scaling")
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     with open(args[0]) as handle:
         raw = json.load(handle)
-    snapshot = condense(raw, meta=meta)
+    snapshot = condense(raw, meta=meta, scaling=scaling)
     with open(args[1], "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -145,6 +168,13 @@ def main(argv: list[str]) -> int:
               + ", ".join(f"{n.removeprefix('test_')} "
                           f"{s:.2f}x" for n, s in
                           sorted(vec["speedup_vs_pr5"].items())) + ")")
+    curve = snapshot.get("weak_scaling")
+    if curve and curve.get("us_per_edge"):
+        points = ", ".join(
+            f"{pe} PEs {cost:.4f}" for pe, cost in
+            sorted(curve["us_per_edge"].items(), key=lambda kv: int(kv[0])))
+        print(f"weak scaling (us/edge): {points} "
+              f"(flatness {curve.get('flatness_ratio')}x)")
     if meta:
         cache = meta.get("cache", {})
         print(f"run: jobs={meta.get('jobs')} "
