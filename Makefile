@@ -2,8 +2,11 @@ PYTHON ?= python3
 
 # Sweep-engine knobs for `make bench` (and anything else that honors
 # them): REPRO_JOBS fans experiment shards across processes,
-# REPRO_CACHE=0 disables the persistent result cache.
+# REPRO_CACHE=0 disables the persistent result cache.  MEM=1 turns on
+# the per-benchmark RSS high-water gauge (REPRO_BENCH_MEM) that
+# benchmarks/conftest.py folds into .bench_meta.json.
 REPRO_JOBS ?= 1
+MEM ?=
 BASE ?= BENCH_PR5.json
 
 .PHONY: test bench bench-scaling bench-compare bench-quick calibrate \
@@ -18,26 +21,31 @@ test:
 # warm-cache or parallel run is a different measurement than the
 # committed serial baseline; `make bench-compare` is the strict gate.
 bench:
-	REPRO_JOBS=$(REPRO_JOBS) PYTHONPATH=src $(PYTHON) -m pytest \
-		benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
+	REPRO_JOBS=$(REPRO_JOBS) REPRO_BENCH_MEM=$(MEM) PYTHONPATH=src \
+		$(PYTHON) -m pytest \
+		benchmarks/ --benchmark-only --benchmark-disable-gc \
+		--benchmark-json=.bench_raw.json
 	PYTHONPATH=src $(PYTHON) tools/bench_snapshot.py .bench_raw.json \
-		BENCH_PR9.json --meta .bench_meta.json \
-		--scaling .scaling_curve.json
+		BENCH_PR10.json --meta .bench_meta.json \
+		--scaling .scaling_curve.json --million .million_point.json
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR9.json --warn-only
+		BENCH_PR10.json --warn-only
 
 # Full weak-scaling sweep: REPRO_SCALING_FULL=1 adds the 1024-PE EM3D
-# point (a ~minute of simulation) to the large curve before the
-# snapshot embeds the per-PE us/edge figures (weak_scaling section).
+# point and grows the capacity benchmark to 1M nodes/PE before the
+# snapshot embeds the per-PE us/edge figures (weak_scaling section)
+# and the footprint gauge (million_point section).  `make
+# bench-scaling MEM=1` additionally records the per-benchmark RSS
+# high-water series in the run metadata.
 bench-scaling:
-	REPRO_SCALING_FULL=1 $(MAKE) bench
+	REPRO_SCALING_FULL=1 $(MAKE) bench MEM=$(MEM)
 
 # Strict perf gate: exit nonzero on >10% mean regression vs $(BASE)
 # (wall-clock means and weak-scaling us/edge points), plus a
 # bit-identity cross-check of the compute tiers (--tiers).
 bench-compare:
 	PYTHONPATH=src $(PYTHON) tools/bench_compare.py $(BASE) \
-		BENCH_PR9.json --tiers
+		BENCH_PR10.json --tiers
 
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_docs.py -q

@@ -9,12 +9,34 @@ resolved sweep-engine configuration (jobs, cores, cache hit/miss
 totals) for the run, which ``tools/bench_snapshot.py --meta`` folds
 into the committed snapshot so a number can always be traced back to
 how it was produced.
+
+The meta also carries a ``memory`` gauge — the process's peak RSS at
+session end, and (under ``REPRO_BENCH_MEM=1``, what ``make
+bench-scaling MEM=1`` sets) the RSS high-water after each individual
+benchmark — so the segment tier's footprint win is measurable next to
+its wall-clock numbers.
+
+A dead ``Machine`` is cyclic garbage (nodes, peer links, and wake
+closures point back at each other), so without help it survives until
+a generation-2 collection — which lands inside whatever benchmark
+happens to be running and charges it up to ~1 s of somebody else's
+teardown.  Two measures keep timings honest: ``make bench`` passes
+``--benchmark-disable-gc`` so timed regions never run the collector,
+and the hook below collects between benchmarks so each one starts
+from an empty heap instead of inheriting the previous test's dead
+machine graph.
 """
 
+import gc
 import json
 import os
 
 import pytest
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
 
 try:
     # Pay numpy's one-time import cost at collection, not inside the
@@ -24,6 +46,29 @@ except ImportError:
     pass
 
 _REPORTS: list = []
+_RSS_HIGH_WATER: dict = {}
+
+
+def peak_rss_kb():
+    """Process peak RSS in KB (``ru_maxrss``); None off-POSIX."""
+    if resource is None:
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    yield
+    # ru_maxrss is a monotone high-water mark, so the per-benchmark
+    # series identifies which benchmark first reached each plateau.
+    if os.environ.get("REPRO_BENCH_MEM", "").strip():
+        rss = peak_rss_kb()
+        if rss is not None:
+            _RSS_HIGH_WATER[item.name] = rss
+    # Free the dead machine graph now, outside any timed region (see
+    # module docstring); dropped cycles would otherwise be collected
+    # mid-benchmark.
+    gc.collect()
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -34,11 +79,16 @@ def pytest_sessionfinish(session, exitstatus):
     except ImportError:       # benchmarks run without src on the path
         return
     meta = {
-        "schema": "bench-meta-v1",
+        "schema": "bench-meta-v2",
         "jobs": resolve_jobs(),
         "cpu_count": os.cpu_count(),
         "cache_enabled": cache_enabled(),
         "cache": cache_stats(),
+        "memory": {
+            "peak_rss_kb": peak_rss_kb(),
+            "per_benchmark_rss_high_water_kb":
+                dict(sorted(_RSS_HIGH_WATER.items())) or None,
+        },
     }
     path = os.path.join(str(session.config.rootpath), ".bench_meta.json")
     with open(path, "w") as handle:

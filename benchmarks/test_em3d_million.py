@@ -1,0 +1,96 @@
+"""Extension: the EM3D capacity point (ROADMAP item 5).
+
+Weak scaling in machine size is covered by
+``test_em3d_weak_scaling.py``; this benchmark scales the *per-PE
+working set* instead, holding the machine at 16 processors and pushing
+the graph far beyond any cache through the segment-backed memory tier
+(``repro.apps.em3d.million``).  The ordinary ``make bench`` run takes
+a 16K-node point; ``REPRO_SCALING_FULL=1`` (``make bench-scaling``)
+grows it to the headline **1M nodes per PE** — ~42M simulated edge
+visits in a ~100 MB backing store, where the old per-word dict memory
+would need tens of gigabytes before the simulation started.
+
+The point's us/edge, wall-clock, and footprint gauge (words allocated,
+segment bytes, peak RSS) land in ``.million_point.json`` for
+``tools/bench_snapshot.py --million`` to embed in the BENCH snapshot.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.apps.em3d import run_em3d_million
+from repro.machine.machine import Machine
+from repro.network.torus import balanced_torus_shape
+from repro.params import t3d_machine_params
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+def peak_rss_kb():
+    if resource is None:
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+NUM_PES = 16
+DEGREE = 2
+QUICK_NODES_PER_PE = 1 << 14
+FULL_NODES_PER_PE = 1 << 20
+
+POINT_PATH = Path(__file__).resolve().parent.parent / ".million_point.json"
+
+
+def million_nodes_per_pe():
+    """The full 1M-node point joins only under ``REPRO_SCALING_FULL``;
+    the ordinary bench run keeps a quick 16K-node stand-in."""
+    if os.environ.get("REPRO_SCALING_FULL", "").strip():
+        return FULL_NODES_PER_PE
+    return QUICK_NODES_PER_PE
+
+
+def test_em3d_million(once, report):
+    nodes_per_pe = million_nodes_per_pe()
+
+    def point():
+        machine = Machine(t3d_machine_params(
+            balanced_torus_shape(NUM_PES)))
+        started = time.perf_counter()
+        result = run_em3d_million(machine, nodes_per_pe, degree=DEGREE,
+                                  steps=1, warmup_steps=1)
+        return result, time.perf_counter() - started
+
+    result, wall = once(point)
+
+    # Bounded memory is the whole claim: the replay configuration
+    # holds ~one processor image (10 words per node: two value fields
+    # plus two ref+weight adjacency pairs), never one per processor.
+    assert result.footprint["words_allocated"] <= 11 * nodes_per_pe, (
+        result.footprint)
+    assert result.us_per_edge > 0
+
+    footprint = dict(result.footprint)
+    footprint["peak_rss_kb"] = peak_rss_kb()
+    POINT_PATH.write_text(json.dumps({
+        "schema": "million-point-v1",
+        "benchmark": "test_em3d_million",
+        "nodes_per_pe": nodes_per_pe,
+        "degree": DEGREE,
+        "num_pes": NUM_PES,
+        "replay": True,
+        "us_per_edge": round(result.us_per_edge, 6),
+        "wall_seconds": round(wall, 3),
+        "footprint": footprint,
+    }, indent=2, sort_keys=True) + "\n")
+
+    rss = footprint["peak_rss_kb"]
+    report("Extension: EM3D capacity point (segment-backed memory)\n"
+           f"  {nodes_per_pe:,} nodes/PE x {NUM_PES} PEs, degree "
+           f"{DEGREE}: {result.us_per_edge:.4f} us/edge, "
+           f"{wall:.1f} s wall\n"
+           f"  footprint: {footprint['words_allocated']:,} words, "
+           f"{footprint['segment_bytes'] / 2**20:.1f} MB segments"
+           + (f", peak RSS {rss / 1024:.0f} MB" if rss else ""))

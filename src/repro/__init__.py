@@ -36,6 +36,6 @@ Quick start::
 See README.md, DESIGN.md, docs/ and EXPERIMENTS.md.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = ["__version__"]

@@ -96,7 +96,7 @@ def run_cg(machine, rows_per_pe: int = 16, tol: float = 1e-10,
     b = _laplacian_matvec(x_true)
 
     # Symmetric layout: ghost cells for p's boundary entries.
-    ghosts_base = machine.symmetric_alloc(2 * WORD_BYTES)
+    ghosts_base = machine.symmetric_segment(2, "f8")
 
     def program(sc):
         ctx = sc.ctx

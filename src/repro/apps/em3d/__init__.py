@@ -18,7 +18,9 @@ bulk      sender-side gather + bulk transfer per processor pair
 from repro.apps.em3d.driver import SweepPoint, sweep
 from repro.apps.em3d.graph import CommPlan, Em3dGraph, make_graph
 from repro.apps.em3d.kernels import VERSIONS, run_em3d
+from repro.apps.em3d.million import Em3dMillionResult, run_em3d_million
 from repro.apps.em3d.reference import reference_step
 
-__all__ = ["CommPlan", "Em3dGraph", "SweepPoint", "VERSIONS",
-           "make_graph", "reference_step", "run_em3d", "sweep"]
+__all__ = ["CommPlan", "Em3dGraph", "Em3dMillionResult", "SweepPoint",
+           "VERSIONS", "make_graph", "reference_step", "run_em3d",
+           "run_em3d_million", "sweep"]

@@ -101,8 +101,10 @@ def run_fft(machine, points_per_pe: int = 16, seed: int = 5,
     if not _is_pow2(points_per_pe):
         raise ValueError("points per processor must be a power of two")
     n = num_pes * points_per_pe
-    vals_base = machine.symmetric_alloc(points_per_pe * WORD_BYTES)
-    recv_base = machine.symmetric_alloc(points_per_pe * WORD_BYTES)
+    # Complex points don't fit a typed buffer: "obj" segments keep the
+    # flat layout (and slice moves) with a plain-list backing.
+    vals_base = machine.symmetric_segment(points_per_pe, "obj")
+    recv_base = machine.symmetric_segment(points_per_pe, "obj")
 
     from random import Random
     rng = Random(seed)

@@ -21,20 +21,30 @@ Three layers:
 * :data:`WORKLOADS` — ~6 named, documented instances covering distinct
   communication patterns (neighbor shift, incast, all-to-all, sparse
   random traffic, skewed phase counts, mostly-idle machines).
+
+A second catalog, :data:`MESSAGE_WORKLOADS`, holds *message-driven*
+programs: processors block on hardware-message and Active-Message
+arrival (``ctx.wait_message`` / ``am.wait_and_dispatch``) instead of
+barriers and store counts.  These are the golden subjects for the
+cohort scheduler's message wake groups — a receiver parked on an
+empty inbox must wake exactly when a sender deposits, under both
+schedulers, with identical timing.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.splitc.am import ActiveMessages
 from repro.splitc.gptr import GlobalPtr
 from repro.splitc.runtime import run_splitc
 
 __all__ = [
     "SLOTS", "SLOT_BYTES", "Workload", "WORKLOADS", "make_program",
     "expected_landings", "check_results", "random_scripts",
-    "run_workload",
+    "run_workload", "MessageWorkload", "MESSAGE_WORKLOADS",
+    "run_message_workload",
 ]
 
 #: Mailbox slots per processor; every script addresses slots
@@ -68,7 +78,9 @@ def make_program(scripts, slots: int = SLOTS):
     num_phases = max(len(s) for s in scripts)
 
     def program(sc):
-        base = sc.all_alloc(slots * SLOT_BYTES)
+        # Mailbox values are (phase, writer) tuples: an "obj" segment
+        # keeps the flat layout with a plain-list backing.
+        base = sc.all_alloc_segment(slots, "obj")
         script = scripts[sc.my_pe]
         for phase in range(num_phases):
             if phase < len(script):
@@ -210,4 +222,130 @@ def run_workload(machine, name: str):
             f"machine has {machine.num_nodes}")
     results, _ = run_splitc(machine, make_program(workload.scripts))
     check_results(workload.scripts, results)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Message-driven workloads (hardware messages and Active Messages)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MessageWorkload:
+    """One named message-driven workload.
+
+    ``make(num_pes)`` builds the ``run_splitc`` program;
+    ``check(num_pes, results)`` asserts delivery was correct.
+    """
+
+    name: str
+    num_pes: int
+    make: object = field(repr=False)
+    check: object = field(repr=False)
+    doc: str = ""
+
+
+def _token_ring_program(num_pes: int, laps: int = 2):
+    """A token circulates the ring ``laps`` times over the *hardware*
+    message path: every processor blocks in ``ctx.wait_message`` (the
+    always-poll trap for a naive scheduler), receives, and forwards."""
+    total = laps * num_pes
+
+    def program(sc):
+        ctx = sc.ctx
+        me = sc.my_pe
+        right = (me + 1) % num_pes
+        if me == 0:
+            ctx.charge(ctx.node.msgq.send(ctx.clock, right, ("token", 1)))
+        received = []
+        for _ in range(laps):
+            yield from ctx.wait_message()
+            cycles, msg = ctx.node.msgq.receive(ctx.clock)
+            ctx.charge(cycles)
+            _tag, count = msg.payload
+            received.append(count)
+            if count < total:
+                ctx.charge(ctx.node.msgq.send(
+                    ctx.clock, right, ("token", count + 1)))
+        return received
+
+    return program
+
+
+def _check_token_ring(num_pes: int, results, laps: int = 2) -> None:
+    for pe, counts in enumerate(results):
+        if pe == 0:
+            expected = [(lap + 1) * num_pes for lap in range(laps)]
+        else:
+            expected = [pe + lap * num_pes for lap in range(laps)]
+        assert counts == expected, (pe, counts, expected)
+
+
+def _am_request_reply_program(num_pes: int):
+    """Client/server over Active Messages: every worker deposits a
+    request at processor 0 and blocks in ``wait_and_dispatch`` for the
+    doubled reply; processor 0 blocks for each request in turn."""
+
+    def program(sc):
+        am = ActiveMessages(sc)
+        requests = []
+
+        def on_request(am_, src_pe, value):
+            requests.append((src_pe, value))
+            return value
+
+        def on_reply(am_, src_pe, value):
+            return value
+
+        request = am.register_handler(on_request)
+        reply = am.register_handler(on_reply)
+        am.attach()
+        yield from sc.barrier()
+        if sc.my_pe == 0:
+            for _ in range(num_pes - 1):
+                yield from am.wait_and_dispatch()
+            for src_pe, value in sorted(requests):
+                am.send(src_pe, reply, value * 2)
+            yield from sc.barrier()
+            return sorted(requests)
+        am.send(0, request, sc.my_pe * 10)
+        answer = yield from am.wait_and_dispatch()
+        yield from sc.barrier()
+        return answer
+
+    return program
+
+
+def _check_am_request_reply(num_pes: int, results) -> None:
+    assert results[0] == [(pe, pe * 10) for pe in range(1, num_pes)]
+    for pe in range(1, num_pes):
+        assert results[pe] == pe * 20, (pe, results[pe])
+
+
+#: Message-driven named workloads, sized like :data:`WORKLOADS`.
+MESSAGE_WORKLOADS: dict[str, MessageWorkload] = {
+    w.name: w for w in (
+        MessageWorkload(
+            name="msg-token-ring", num_pes=4,
+            make=_token_ring_program, check=_check_token_ring,
+            doc="a hardware-message token circles the ring twice; "
+                "every processor blocks in wait_message"),
+        MessageWorkload(
+            name="am-request-reply", num_pes=4,
+            make=_am_request_reply_program, check=_check_am_request_reply,
+            doc="Active-Message client/server: workers block for a "
+                "doubled reply, the server blocks per request"),
+    )
+}
+
+
+def run_message_workload(machine, name: str):
+    """Run one message-driven workload on ``machine``; checks delivery
+    and returns the per-PE results."""
+    workload = MESSAGE_WORKLOADS[name]
+    if machine.num_nodes != workload.num_pes:
+        raise ValueError(
+            f"workload {name!r} wants {workload.num_pes} processors, "
+            f"machine has {machine.num_nodes}")
+    results, _ = run_splitc(machine, workload.make(workload.num_pes))
+    workload.check(workload.num_pes, results)
     return results

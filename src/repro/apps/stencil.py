@@ -64,10 +64,10 @@ def run_stencil(machine, cells_per_pe: int = 64, steps: int = 4,
         raise ValueError("need at least two cells per processor")
 
     num_pes = machine.num_nodes
-    cells_base = machine.symmetric_alloc(cells_per_pe * WORD_BYTES)
+    cells_base = machine.symmetric_segment(cells_per_pe, "f8")
     # Ghosts: [left_ghost, right_ghost] per step parity to avoid reuse
     # races between consecutive steps.
-    ghosts_base = machine.symmetric_alloc(4 * WORD_BYTES)
+    ghosts_base = machine.symmetric_segment(4, "f8")
 
     def cell_addr(i: int) -> int:
         return cells_base + i * WORD_BYTES

@@ -59,9 +59,9 @@ def run_transpose(machine, n: int, strategy: str = "bulk") -> TransposeResult:
     if n % num_pes:
         raise ValueError("matrix size must be a multiple of the PE count")
     rows_per_pe = n // num_pes
-    src_base = machine.symmetric_alloc(rows_per_pe * n * WORD_BYTES)
-    dst_base = machine.symmetric_alloc(rows_per_pe * n * WORD_BYTES)
-    stage_base = machine.symmetric_alloc(rows_per_pe * n * WORD_BYTES)
+    src_base = machine.symmetric_segment(rows_per_pe * n, "f8")
+    dst_base = machine.symmetric_segment(rows_per_pe * n, "f8")
+    stage_base = machine.symmetric_segment(rows_per_pe * n, "f8")
 
     def src_addr(local_row: int, col: int) -> int:
         return src_base + (local_row * n + col) * WORD_BYTES

@@ -16,11 +16,19 @@ specific machine state changes:
   completes);
 * a :class:`~repro.simkernel.conditions.BytesArrivedCondition` flips
   only when a store packet lands in the waiting node's arrival log;
-* message and active-message conditions (and any condition type this
-  module does not recognize) are polled before every advance, exactly
-  as the reference scheduler does — they are rare, and hardware
-  messages can go *unready* again when another thread consumes the
-  message.
+* a :class:`~repro.simkernel.conditions.MessageCondition` (hardware
+  messages) flips only when :meth:`MessageUnit.send` appends to the
+  waiting node's inbox, and an
+  :class:`~repro.splitc.am.AmMessageCondition` only when
+  :meth:`ActiveMessages.send` deposits a request — both senders emit
+  the matching wake event, so message-driven programs (histogram,
+  samplesort, request/reply protocols) block without polling too.
+  These groups are *re-polled per member* on wake, because another
+  thread may consume the message first (and a condition found unready
+  at pop time parks on the always-poll list — the conservative
+  reference treatment);
+* any condition type this module does not recognize is polled before
+  every advance, exactly as the reference scheduler does.
 
 The barrier tree and the nodes carry a ``wake_sink`` list while a
 cohort run is active; :meth:`HardwareBarrier.start` appends a wake
@@ -48,6 +56,7 @@ from heapq import heapify, heappop, heappush
 from repro.simkernel.conditions import (
     BarrierCondition,
     BytesArrivedCondition,
+    MessageCondition,
 )
 from repro.simkernel.scheduler import DeadlockError, SpmdScheduler, _Thread
 from repro.trace import tracer as _trace
@@ -55,6 +64,19 @@ from repro.trace import tracer as _trace
 __all__ = ["CohortScheduler", "cohort_enabled"]
 
 _FALSE_VALUES = ("0", "false", "no", "off")
+
+#: Lazily-resolved AmMessageCondition class.  The import is deferred
+#: because ``repro.splitc`` (the package that defines it) imports this
+#: module during its own initialization.
+_AM_CONDITION: type | None = None
+
+
+def _am_condition_type() -> type:
+    global _AM_CONDITION
+    if _AM_CONDITION is None:
+        from repro.splitc.am import AmMessageCondition
+        _AM_CONDITION = AmMessageCondition
+    return _AM_CONDITION
 
 
 def cohort_enabled() -> bool:
@@ -126,6 +148,19 @@ class CohortScheduler(SpmdScheduler):
         elif kind is BytesArrivedCondition:
             if getattr(condition.node, "wake_sink", None) is self._wake:
                 return ("y", condition.node.pe)
+        elif kind is MessageCondition:
+            # A hardware-message inbox gains entries only through
+            # MessageUnit.send, which appends an ("m", dst) wake event.
+            unit = condition.msg_unit
+            node = unit.fabric.node(unit.my_pe)
+            if getattr(node, "wake_sink", None) is self._wake:
+                return ("m", unit.my_pe)
+        elif kind is _am_condition_type():
+            # Likewise, an AM request queue fills only through
+            # ActiveMessages.send, which appends ("a", dst).
+            node = condition.am.sc.ctx.node
+            if getattr(node, "wake_sink", None) is self._wake:
+                return ("a", node.pe)
         return None
 
     def _run(self, threads, wake):

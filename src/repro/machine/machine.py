@@ -73,6 +73,47 @@ class Machine:
             )
         return offsets.pop()
 
+    def symmetric_segment(self, nwords: int, kind: str = "f8",
+                          stride_bytes: int = 8, align: int = 8) -> int:
+        """Symmetric-heap allocation backed by a flat typed segment on
+        every node: reserves ``nwords * stride_bytes`` bytes at a
+        common offset and registers a :class:`~repro.node.memory.Segment`
+        covering ``offset + i * stride_bytes`` there.  Returns the
+        offset; per-node segment handles come from
+        ``node.memsys.memory.segment_at(offset)``.
+        """
+        offset = self.symmetric_alloc(nwords * stride_bytes, align)
+        for node in self.nodes:
+            node.memsys.memory.alloc_segment(
+                offset, nwords, kind, stride_bytes=stride_bytes)
+        return offset
+
+    def memory_footprint(self) -> dict:
+        """Machine-wide backing-store gauge for bench metadata: words
+        reserved (dict + segment capacity) and segment buffer bytes.
+        Aliased segments (replayed symmetric PEs sharing one buffer)
+        are counted once.
+        """
+        dict_words = 0
+        seg_words = 0
+        seg_bytes = 0
+        seen: set[int] = set()
+        for node in self.nodes:
+            mem = node.memsys.memory
+            dict_words += len(mem._words)
+            for seg in mem.segments:
+                if id(seg) in seen:
+                    continue
+                seen.add(id(seg))
+                seg_words += seg.nwords
+                seg_bytes += seg.nwords * 9
+        return {
+            "dict_words": dict_words,
+            "segment_words": seg_words,
+            "words_allocated": dict_words + seg_words,
+            "segment_bytes": seg_bytes,
+        }
+
     def settle(self) -> None:
         """Commit every write-buffer entry whose retire time is already
         scheduled.  Called by the scheduler when threads are blocked on

@@ -55,6 +55,10 @@ class Torus:
         # Hop counts are pure in (src, dst); memoize them — remote-access
         # timing asks for the same pairs millions of times.
         self._hops_cache: dict[tuple[int, int], int] = {}
+        # Coordinates of every node, built on first use: at 1024
+        # processors the scatter paths ask for ~200k *distinct* pairs,
+        # so even the cache-miss arithmetic is worth flattening.
+        self._coords_table: list[tuple[int, int, int]] | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -91,14 +95,22 @@ class Torus:
         if src == dst:
             count = 0
         else:
-            sx, sy, sz = self.coords(src)
-            dx, dy, dz = self.coords(dst)
+            table = self._coords_table
+            if table is None:
+                table = self._coords_table = [
+                    self.coords(i) for i in range(self.num_nodes)]
+            if not (0 <= src < len(table) and 0 <= dst < len(table)):
+                self._check_node(src)
+                self._check_node(dst)
+            sx, sy, sz = table[src]
+            dx, dy, dz = table[dst]
             x_dim, y_dim, z_dim = self.shape
-            count = (
-                self._ring_distance(sx, dx, x_dim)
-                + self._ring_distance(sy, dy, y_dim)
-                + self._ring_distance(sz, dz, z_dim)
-            )
+            f = (dx - sx) % x_dim
+            count = f if f + f <= x_dim else x_dim - f
+            f = (dy - sy) % y_dim
+            count += f if f + f <= y_dim else y_dim - f
+            f = (dz - sz) % z_dim
+            count += f if f + f <= z_dim else z_dim - f
         self._hops_cache[(src, dst)] = count
         return count
 

@@ -51,8 +51,12 @@ class Dram:
                 "same_bank_conflicts": self.same_bank_conflicts}
 
     def reset(self) -> None:
-        """Forget all open rows and history (e.g. between probe runs)."""
-        self._open_row = [-1] * self.params.banks
+        """Forget all open rows and history (e.g. between probe runs).
+
+        ``_open_row`` is cleared in place: peer links bind the list
+        itself so inlined drain peeks see live row state across resets.
+        """
+        self._open_row[:] = [-1] * self.params.banks
         self._last_bank = -1
         self.accesses = 0
         self.row_misses = 0

@@ -45,19 +45,25 @@ class PendingWrite:
     ``on_retire``: called as ``on_retire(entry)`` when the entry
     drains; remote stores use this to inject their packet with the
     retire timestamp.
+    ``meta``: opaque payload for the callback.  Remote stores carry
+    ``(flight_cycles, source_unit)`` here, which lets one retirement
+    callback per *target* node serve every sender (the per-pair part
+    of the packet travels with the entry instead of being closed
+    over).
     """
 
     __slots__ = ("line_addr", "enqueue_time", "retire_time", "words",
-                 "apply_words", "on_retire")
+                 "apply_words", "on_retire", "meta")
 
     def __init__(self, line_addr: int, enqueue_time: float,
                  retire_time: float, words: dict | None = None,
-                 apply_words: bool = True, on_retire=None):
+                 apply_words: bool = True, on_retire=None, meta=None):
         self.line_addr = line_addr
         self.enqueue_time = enqueue_time
         self.retire_time = retire_time
         self.words = {} if words is None else words
         self.apply_words = apply_words
+        self.meta = meta
         self.on_retire = on_retire
 
 
@@ -151,7 +157,8 @@ class WriteBuffer:
         del pending[:drained]
 
     def push(self, now: float, addr: int, value, drain_cost: float,
-             apply_words: bool = True, on_retire=None) -> float:
+             apply_words: bool = True, on_retire=None,
+             meta=None) -> float:
         """Issue a store at time ``now``; return the CPU cycles charged.
 
         ``drain_cost`` is the full drain time for this line's entry:
@@ -162,7 +169,9 @@ class WriteBuffer:
         interval (``drain_cost / depth``), and the CPU stalls only if
         all ``params.entries`` slots are occupied.
         """
-        self.flush_retired(now)
+        pending = self._pending
+        if pending and pending[0].retire_time <= now:
+            self.flush_retired(now)
         cycles = self._issue_cycles
         line = addr - (addr % self.line_bytes)
         word = addr - (addr % WORD_BYTES)
@@ -191,7 +200,7 @@ class WriteBuffer:
         self._pending.append(
             PendingWrite(line_addr=line, enqueue_time=start, retire_time=retire,
                          words={word: value}, apply_words=apply_words,
-                         on_retire=on_retire)
+                         on_retire=on_retire, meta=meta)
         )
         if len(self._pending) == 1 and self.settle_queue is not None:
             self.settle_queue.append(self)
@@ -207,7 +216,9 @@ class WriteBuffer:
         for this store's line).  Identical except the merging re-scan
         is skipped: the flush below only *removes* entries, so the
         re-scan could never match."""
-        self.flush_retired(now)
+        pending = self._pending
+        if pending and pending[0].retire_time <= now:
+            self.flush_retired(now)
         cycles = self._issue_cycles
         line = addr - (addr % self.line_bytes)
         word = addr - (addr % WORD_BYTES)

@@ -109,8 +109,18 @@ class BlockTransferEngine:
         dst_mem = self.fabric.node(self.my_pe).memsys.memory
         step = stride_bytes if stride_bytes else WORD_BYTES
         nwords = self._words(nbytes)
-        values = self._gather(src_mem, src_offset, step, nwords)
         dst_base = dst_offset & LOCAL_ADDR_MASK
+        if (USE_BATCHED_COPY and step == WORD_BYTES
+                and (src_offset & LOCAL_ADDR_MASK) + (nwords - 1) * step
+                <= LOCAL_ADDR_MASK
+                and dst_base + (nwords - 1) * WORD_BYTES <= LOCAL_ADDR_MASK
+                and dst_mem.move_range(dst_base, src_mem,
+                                       src_offset & LOCAL_ADDR_MASK,
+                                       nwords)):
+            # Segment-to-segment: one typed slice assignment, no
+            # intermediate Python list.
+            return initiate, BltTransfer(completion, nbytes, "read")
+        values = self._gather(src_mem, src_offset, step, nwords)
         if USE_BATCHED_COPY and (dst_base + (nwords - 1) * WORD_BYTES
                                  <= LOCAL_ADDR_MASK):
             dst_mem.store_range(dst_base, values)
@@ -131,8 +141,24 @@ class BlockTransferEngine:
         dst_node = self.fabric.node(dst_pe)
         step = stride_bytes if stride_bytes else WORD_BYTES
         nwords = self._words(nbytes)
-        values = self._gather(src_mem, src_offset, step, nwords)
         dst_base = dst_offset & LOCAL_ADDR_MASK
+        if (USE_BATCHED_COPY and step == WORD_BYTES
+                and (src_offset & LOCAL_ADDR_MASK) + (nwords - 1) * step
+                <= LOCAL_ADDR_MASK
+                and dst_base + (nwords - 1) * WORD_BYTES <= LOCAL_ADDR_MASK
+                and dst_node.memsys.memory.move_range(
+                    dst_base, src_mem, src_offset & LOCAL_ADDR_MASK,
+                    nwords)):
+            # Segment-to-segment slice move; the cache-line drop below
+            # matches the batched store path.
+            dst_node.memsys.l1.invalidate_range(dst_base, nwords * WORD_BYTES)
+            self.fabric.notify_store_arrival(
+                src_pe=self.my_pe, dst_pe=dst_pe,
+                nbytes=nwords * WORD_BYTES, arrival_time=completion,
+                addr=dst_offset & LOCAL_ADDR_MASK,
+            )
+            return initiate, BltTransfer(completion, nbytes, "write")
+        values = self._gather(src_mem, src_offset, step, nwords)
         if USE_BATCHED_COPY and (dst_base + (nwords - 1) * WORD_BYTES
                                  <= LOCAL_ADDR_MASK):
             # Stores don't read the cache, so committing all words and

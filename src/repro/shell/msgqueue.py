@@ -71,9 +71,17 @@ class MessageUnit:
         self.sends += 1
         hops = self.fabric.hops(self.my_pe, dst_pe)
         arrival = now + self.params.send_cycles + hops * self.network.hop_cycles
-        self.fabric.node(dst_pe).msgq._inbox.append(
+        dst_node = self.fabric.node(dst_pe)
+        dst_node.msgq._inbox.append(
             Message(src_pe=self.my_pe, payload=payload, arrival_time=arrival)
         )
+        # Message-wake hook: a blocked MessageCondition on the target
+        # can only become ready when a message joins its inbox — tell
+        # the cohort scheduler (if one is listening) which group to
+        # poll instead of leaving receivers on the every-round list.
+        sink = getattr(dst_node, "wake_sink", None)
+        if sink is not None:
+            sink.append(("m", dst_pe))
         if _trace.TRACE_ENABLED:
             _trace.emit("msg_send", t=now, pe=self.my_pe, target=dst_pe,
                         nwords=len(payload), arrival=arrival)

@@ -25,8 +25,6 @@ by :class:`repro.machine.machine.Machine`) providing ``hops(src, dst)``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.params import (
     LOCAL_ADDR_MASK,
     NetworkParams,
@@ -35,16 +33,172 @@ from repro.params import (
 )
 from repro.trace import tracer as _trace
 
-__all__ = ["AckRecord", "RemoteAccessUnit"]
+__all__ = ["AckRecord", "PeerLink", "RemoteAccessUnit",
+           "make_inbound_on_retire"]
 
 
-@dataclass
+def make_inbound_on_retire(node, rparams: RemoteAccessParams):
+    """Build the write-retirement callback for stores *into* ``node``.
+
+    One closure per target serves every sender: the per-pair parts of
+    a retiring packet — the flight time and the sending unit whose
+    acknowledgement list the ack joins — travel on the entry itself as
+    ``entry.meta = (flight, source_unit)``.  Hot target-side state is
+    bound here once; the flat-geometry DRAM access and the
+    direct-mapped invalidate are inlined (falling back to the generic
+    methods for other configurations).
+
+    Every binding is stable across :meth:`Machine.reset`: the open-row
+    list and the tag dict are cleared in place by their units' resets.
+    """
+    ms = node.memsys
+    dram = ms.dram
+    l1 = ms.l1
+    access_with = dram.access_with
+    same_bank = ms.params.dram.same_bank_cycles
+    access_cycles = ms.params.dram.access_cycles
+    mem_store = ms.memory.store
+    l1_invalidate = l1.invalidate
+    l1_tags = l1._tags if l1._assoc == 1 else None
+    l1_lb = l1._line_bytes
+    l1_sets = l1._num_sets
+    record_arrival = node.record_store_arrival
+    interleave = dram._interleave
+    banks = dram._banks
+    geom_flat = (interleave == dram._page_bytes
+                 and interleave & (interleave - 1) == 0
+                 and banks & (banks - 1) == 0)
+    il_shift = interleave.bit_length() - 1
+    bank_mask = banks - 1
+    bank_shift = banks.bit_length() - 1
+    open_row = dram._open_row
+    service = rparams.target_service_cycles
+    off_page = rparams.remote_off_page_cycles
+    ack_overhead = rparams.write_ack_overhead_cycles
+    target_pe = node.pe
+    mask = LOCAL_ADDR_MASK
+
+    def on_retire(entry):
+        flight, src = entry.meta
+        # Target-interface serialization: one sender's stream never
+        # queues (service rate = injection rate), but converging
+        # senders do — incast congestion.
+        arrival = entry.retire_time + flight
+        if arrival < node.inbound_busy_until:
+            arrival = node.inbound_busy_until
+        node.inbound_busy_until = arrival + service
+        line_local = entry.line_addr & mask
+        if geom_flat:
+            # Inlined Dram.access_with for the flat T3D geometry
+            # (interleave == page size, powers of two): row is simply
+            # block // banks, so shifts replace the divmod chain.
+            block = line_local >> il_shift
+            bank = block & bank_mask
+            row = block >> bank_shift
+            mem_cycles = access_cycles
+            dram.accesses += 1
+            if open_row[bank] != row:
+                dram.row_misses += 1
+                mem_cycles += off_page
+                if bank == dram._last_bank:
+                    dram.same_bank_conflicts += 1
+                    mem_cycles += same_bank
+                open_row[bank] = row
+            dram._last_bank = bank
+        else:
+            mem_cycles = access_with(line_local, off_page, same_bank)
+        nbytes = 0
+        for waddr, wvalue in entry.words.items():
+            local = waddr & mask
+            mem_store(local, wvalue)
+            if l1_tags is not None:
+                # Inlined direct-mapped Cache.invalidate.
+                index = (local // l1_lb) % l1_sets
+                if l1_tags.get(index) == local - (local % l1_lb):
+                    del l1_tags[index]
+            else:
+                l1_invalidate(local)
+            nbytes += WORD_BYTES
+        ack_time = arrival + mem_cycles + flight + ack_overhead
+        src._acks.append(
+            AckRecord(entry.retire_time, ack_time, nbytes))
+        if _trace.TRACE_ENABLED:
+            _trace.emit("remote_ack", t=entry.retire_time,
+                        pe=src.my_pe, target=target_pe, nbytes=nbytes,
+                        ack_time=ack_time)
+        record_arrival(nbytes, arrival + mem_cycles, line_local)
+
+    return on_retire
+
+
 class AckRecord:
     """An in-flight remote-write acknowledgement."""
 
-    drain_time: float   # when the store left the write buffer
-    ack_time: float     # when the acknowledgement clears the status bit
-    nbytes: int
+    __slots__ = ("drain_time", "ack_time", "nbytes")
+
+    def __init__(self, drain_time: float, ack_time: float, nbytes: int):
+        self.drain_time = drain_time   # when the store left the buffer
+        self.ack_time = ack_time       # when the ack clears the status bit
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:   # debugging aid only
+        return (f"AckRecord(drain_time={self.drain_time}, "
+                f"ack_time={self.ack_time}, nbytes={self.nbytes})")
+
+
+class PeerLink:
+    """Precomputed per-target bindings for the remote hot paths.
+
+    Everything here is immutable for the life of the machine (nodes,
+    units, and DRAM geometry are created once), so the link collapses
+    the per-access attribute-chain walks *and* the per-group DRAM
+    geometry recomputation that dominated ``put_scatter`` at 1024 PEs
+    — scatter groups are mostly one or two elements there, so set-up
+    cost per group is the bill.  ``open_row``/``dram`` expose the
+    target controller's *live* row state for inlined drain peeks.
+    """
+
+    __slots__ = ("node", "flight", "access_with", "peek_access_with",
+                 "same_bank", "access_cycles", "mem_load", "mem_store",
+                 "l1_invalidate", "on_retire", "retire_meta", "dram",
+                 "geom_flat", "il_shift", "bank_mask", "bank_shift",
+                 "open_row")
+
+    def __init__(self, unit: "RemoteAccessUnit", pe: int):
+        node = unit.fabric.node(pe)
+        # All target-side bindings come from one bundle built once per
+        # *target* node (Node.peer_exports) — at 1024 PEs there are
+        # ~200x more (source, target) pairs than targets, and the
+        # attribute-chain walks per pair dominated link construction.
+        # The only truly per-pair state is the flight time and the
+        # sender identity, carried to retirement as ``retire_meta``.
+        (ms, dram, access_with, peek_access_with, same_bank,
+         access_cycles, mem_load, mem_store, l1_invalidate,
+         record_arrival, geom_flat, il_shift, bank_mask, bank_shift,
+         open_row, l1_tags, l1_line_bytes, l1_num_sets,
+         inbound_on_retire) = node.peer_exports()
+        self.node = node
+        self.flight = unit.fabric.hops(unit.my_pe, pe) \
+            * unit.network.hop_cycles
+        self.access_with = access_with
+        self.peek_access_with = peek_access_with
+        self.same_bank = same_bank
+        self.access_cycles = access_cycles
+        self.mem_load = mem_load
+        self.mem_store = mem_store
+        self.l1_invalidate = l1_invalidate
+        self.on_retire = inbound_on_retire
+        self.retire_meta = (self.flight, unit)
+        self.dram = dram
+        # Power-of-two controller geometry (see the matching derivation
+        # in the EM3D fast compute loop): when the interleave equals
+        # the page size, row = block // banks exactly, and bank/row
+        # extraction reduces to shifts and masks.
+        self.geom_flat = geom_flat
+        self.il_shift = il_shift
+        self.bank_mask = bank_mask
+        self.bank_shift = bank_shift
+        self.open_row = open_row
 
 
 class RemoteAccessUnit:
@@ -57,7 +211,7 @@ class RemoteAccessUnit:
         self.my_pe = my_pe
         self.memsys = memsys
         self.fabric = fabric
-        self._peer_cache: dict[int, tuple] = {}
+        self._peer_cache: dict[int, PeerLink] = {}
         self._acks: list[AckRecord] = []
         #: Data snapshots for remotely-fetched cache lines, keyed by the
         #: full (annex-bearing) line address.  Snapshot staleness *is*
@@ -76,9 +230,15 @@ class RemoteAccessUnit:
                 "stores": self.stores}
 
     def reset(self) -> None:
+        # The peer-link cache deliberately survives reset: every
+        # binding a PeerLink holds (nodes, unit methods, the DRAM
+        # open-row list, the direct-mapped tag dict) is stable for the
+        # machine's life — the stateful containers are cleared *in
+        # place* by their own resets.  Rebuilding ~200 links per node
+        # between the warmup and measured runs was a measurable cost
+        # at 1024 processors.
         self._acks = []
         self._line_snapshots = {}
-        self._peer_cache = {}
         self.reads = 0
         self.cached_reads = 0
         self.stores = 0
@@ -87,86 +247,15 @@ class RemoteAccessUnit:
     # Helpers
     # ------------------------------------------------------------------
 
-    def _peer(self, pe: int) -> tuple:
-        """Cached per-target bindings for the hot paths: the node, the
-        one-way flight time, and bound methods of its memory system.
-        All entries are immutable for the life of the machine (nodes
-        and their units are created once), so caching them only removes
-        repeated attribute-chain walks."""
-        info = self._peer_cache.get(pe)
-        if info is None:
-            node = self.fabric.node(pe)
-            ms = node.memsys
-            info = (
-                node,
-                self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles,
-                ms.dram.access_with,
-                ms.dram.peek_access_with,
-                ms.params.dram.same_bank_cycles,
-                ms.params.dram.access_cycles,
-                ms.memory.load,
-                ms.memory.store,
-                ms.l1.invalidate,
-                self._make_on_retire(pe, node, ms),
-                ms.dram,
-            )
-            self._peer_cache[pe] = info
-        return info
-
-    def _make_on_retire(self, pe: int, target, target_memsys):
-        """The write-buffer retirement callback for stores to ``pe``.
-
-        The callback depends only on per-target constants plus the
-        retiring entry itself, so one closure per peer serves every
-        store — building a fresh closure per store was a measurable
-        cost in the ghost-fill hot loop.
-        """
-        flight = self.fabric.hops(self.my_pe, pe) * self.network.hop_cycles
-        access_with = target_memsys.dram.access_with
-        same_bank = target_memsys.params.dram.same_bank_cycles
-        mem_store = target_memsys.memory.store
-        l1_invalidate = target_memsys.l1.invalidate
-        params = self.params
-
-        def on_retire(entry):
-            # Target-interface serialization: one sender's stream never
-            # queues (service rate = injection rate), but converging
-            # senders do — incast congestion.
-            arrival = max(entry.retire_time + flight,
-                          target.inbound_busy_until)
-            target.inbound_busy_until = (
-                arrival + params.target_service_cycles)
-            mem_cycles = access_with(
-                entry.line_addr & LOCAL_ADDR_MASK,
-                params.remote_off_page_cycles, same_bank)
-            nbytes = 0
-            for waddr, wvalue in entry.words.items():
-                local = waddr & LOCAL_ADDR_MASK
-                mem_store(local, wvalue)
-                l1_invalidate(local)
-                nbytes += WORD_BYTES
-            ack_time = (
-                arrival + mem_cycles + flight
-                + params.write_ack_overhead_cycles
-            )
-            self._acks.append(
-                AckRecord(drain_time=entry.retire_time, ack_time=ack_time,
-                          nbytes=nbytes)
-            )
-            if _trace.TRACE_ENABLED:
-                _trace.emit("remote_ack", t=entry.retire_time,
-                            pe=self.my_pe, target=pe, nbytes=nbytes,
-                            ack_time=ack_time)
-            self.fabric.notify_store_arrival(
-                src_pe=self.my_pe, dst_pe=pe, nbytes=nbytes,
-                arrival_time=arrival + mem_cycles,
-                addr=entry.line_addr & LOCAL_ADDR_MASK,
-            )
-
-        return on_retire
+    def _peer(self, pe: int) -> PeerLink:
+        """Cached :class:`PeerLink` for the target processor."""
+        link = self._peer_cache.get(pe)
+        if link is None:
+            link = self._peer_cache[pe] = PeerLink(self, pe)
+        return link
 
     def _flight(self, pe: int) -> float:
-        return self._peer(pe)[1]
+        return self._peer(pe).flight
 
     def _target_memory_cycles(self, pe: int, offset: int) -> float:
         """A remote memory-controller access at the target node.
@@ -175,8 +264,9 @@ class RemoteAccessUnit:
         than the local one (~15 vs ~9 cycles, section 4.2).
         """
         peer = self._peer(pe)
-        return peer[2](offset & LOCAL_ADDR_MASK,
-                       self.params.remote_off_page_cycles, peer[4])
+        return peer.access_with(offset & LOCAL_ADDR_MASK,
+                                self.params.remote_off_page_cycles,
+                                peer.same_bank)
 
     # ------------------------------------------------------------------
     # Reads
@@ -189,13 +279,14 @@ class RemoteAccessUnit:
         local = offset & LOCAL_ADDR_MASK
         cycles = (
             self.params.read_overhead_cycles
-            + 2 * peer[1]
-            + peer[2](local, self.params.remote_off_page_cycles, peer[4])
+            + 2 * peer.flight
+            + peer.access_with(local, self.params.remote_off_page_cycles,
+                               peer.same_bank)
         )
         if _trace.TRACE_ENABLED:
             _trace.emit("remote_read", t=now, pe=self.my_pe,
                         target=pe, offset=local, cycles=cycles)
-        return cycles, peer[6](local)
+        return cycles, peer.mem_load(local)
 
     def cached_read(self, now: float, pe: int, offset: int, full_addr: int):
         """Read via a cached remote access; returns (cycles, value).
@@ -269,17 +360,17 @@ class RemoteAccessUnit:
         # stream that misses the remote DRAM page on every line (16 KB
         # strides) backs the pipeline up — Figure 7's inflection.
         peer = self._peer(pe)
-        peek_access_with, same_bank, access_cycles = peer[3], peer[4], peer[5]
         drain = self.params.store_drain_cycles + (
-            peek_access_with(
+            peer.peek_access_with(
                 offset & LOCAL_ADDR_MASK,
                 self.params.remote_off_page_cycles,
-                same_bank,
-            ) - access_cycles
+                peer.same_bank,
+            ) - peer.access_cycles
         )
         cycles = self.memsys.write_buffer.push(
             now, full_addr, value, drain,
-            apply_words=False, on_retire=peer[9],
+            apply_words=False, on_retire=peer.on_retire,
+            meta=peer.retire_meta,
         )
         if _trace.TRACE_ENABLED:
             _trace.emit("remote_store", t=now, pe=self.my_pe, target=pe,

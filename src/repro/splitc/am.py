@@ -162,12 +162,19 @@ class ActiveMessages:
         arrival = (ctx.clock
                    + ctx.node.params.shell.remote.store_drain_cycles / 4
                    + flight)
-        dst_am = ctx.machine.node(dst_pe).am_endpoint
+        dst_node = ctx.machine.node(dst_pe)
+        dst_am = dst_node.am_endpoint
         if dst_am is None:
             raise RuntimeError(f"pe {dst_pe} has no attached AM endpoint")
         dst_am._inbox.append(_AmDelivery(
             src_pe=sc.my_pe, handler_id=handler_id, args=tuple(args),
             arrival_time=arrival))
+        # Message-wake hook: a blocked AmMessageCondition on the target
+        # becomes ready only through this append — name the wake group
+        # for the cohort scheduler instead of forcing every-round polls.
+        sink = getattr(dst_node, "wake_sink", None)
+        if sink is not None:
+            sink.append(("a", dst_pe))
 
     # ------------------------------------------------------------------
     # Receiving (poll + dispatch, ~1.5 us)

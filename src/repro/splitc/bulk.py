@@ -90,7 +90,7 @@ def _local_copy_fast(ctx, dst_offset: int, src_offset: int,
     tags_get = tags.get
     hit_cycles = memsys.params.l1.hit_cycles
     dram_access = memsys.dram.access
-    mem_get = memsys.memory._words.get
+    mem_get = memsys.memory.word_get
     mask = LOCAL_ADDR_MASK
     wbytes = WORD_BYTES
     loop_it = ctx.node.alpha.loop_iteration()
@@ -189,18 +189,18 @@ def _bulk_read_uncached_fast(ctx, pe: int, src_addr: int, dst_offset: int,
     node = ctx.node
     unit = node.remote
     peer = unit._peer(pe)
-    t_dram = peer[0].memsys.dram
+    t_dram = peer.dram
     t_il = t_dram._interleave
     t_banks = t_dram._banks
     t_page = t_dram._page_bytes
     t_access = t_dram._access_cycles
     t_open = t_dram._open_row
-    t_get = peer[0].memsys.memory._words.get
+    t_get = peer.node.memsys.memory.word_get
     r_off_page = unit.params.remote_off_page_cycles
-    t_same_bank = peer[4]
+    t_same_bank = peer.same_bank
     # uncached_read charges ``overhead + 2*flight + mem`` left to
     # right, so the first two terms fold into one prefix constant.
-    base = unit.params.read_overhead_cycles + 2 * peer[1]
+    base = unit.params.read_overhead_cycles + 2 * peer.flight
     memsys = node.memsys
     wb = memsys.write_buffer
     pending = wb._pending            # flush_retired trims it in place
@@ -398,7 +398,7 @@ def _store_stream_fast(sc, ctx, unit, pe: int, dst_addr: int,
     tags_get = tags.get
     hit_cycles = memsys.params.l1.hit_cycles
     dram_access = memsys.dram.access
-    mem_get = memsys.memory._words.get
+    mem_get = memsys.memory.word_get
     mask = LOCAL_ADDR_MASK
     wbytes = WORD_BYTES
     loop_it = node.alpha.loop_iteration()

@@ -31,7 +31,7 @@ from repro.machine.cohort import cohort_enabled
 from repro.node.alpha import extract_byte, merge_byte_into_word
 from repro.node.write_buffer import PendingWrite
 from repro.params import ANNEX_BIT_SHIFT, LOCAL_ADDR_MASK, WORD_BYTES
-from repro.shell.annex import ReadMode
+from repro.shell.annex import AnnexEntry, ReadMode
 from repro.splitc.annex_policy import (
     MultiAnnexPolicy,
     OsManagedAnnexPolicy,
@@ -116,6 +116,20 @@ class SplitC:
         heap); every thread must call it in the same order.  Returns
         the common local offset."""
         offset = self.ctx.node.heap.alloc(nbytes, align)
+        return offset
+
+    def all_alloc_segment(self, nwords: int, kind: str = "f8",
+                          stride_bytes: int = WORD_BYTES,
+                          align: int = 8) -> int:
+        """Symmetric allocation backed by a flat typed segment
+        (:meth:`~repro.node.memory.WordMemory.alloc_segment`) on this
+        thread's node; every thread must call it in the same order, so
+        the segment exists at the common offset machine-wide.  Purely a
+        representation choice — timing and observable values are
+        identical to :meth:`all_alloc` plus dict-backed words."""
+        offset = self.all_alloc(nwords * stride_bytes, align)
+        self.ctx.node.memsys.memory.alloc_segment(
+            offset, nwords, kind, stride_bytes=stride_bytes)
         return offset
 
     def gptr(self, pe: int, offset: int) -> GlobalPtr:
@@ -299,7 +313,8 @@ class SplitC:
         setup = policy.setup
         remote = node.remote
         get_peer = remote._peer
-        wb = node.memsys.write_buffer
+        memsys = node.memsys
+        wb = memsys.write_buffer
         memsys_read = ctx._memsys_read
         my_pe = ctx.pe
         rparams = remote.params
@@ -315,6 +330,53 @@ class SplitC:
         line_bytes = wb.line_bytes
         wbytes = WORD_BYTES
         mask = LOCAL_ADDR_MASK
+        # Local-memory bindings for the inlined source read (exact
+        # flattening of MemorySystem.read: write-buffer forwarding
+        # probe, then the direct-mapped L1 / local DRAM chain).  The
+        # T3D shape always takes this path; exotic configs keep the
+        # method call.  L1 and DRAM counters accumulate in locals and
+        # commit in one batch at the end of the phase — nothing reads
+        # them mid-phase, while the *state* (tags, open rows, last
+        # bank) stays live because the generic local-put branch and
+        # retiring drains share it.
+        src_fast = memsys._fast_read
+        my_l1 = memsys.l1
+        l1_tags = my_l1._tags if src_fast else None
+        l1_get = l1_tags.get if src_fast else None
+        lb = my_l1._line_bytes
+        l1_sets = my_l1._num_sets
+        hit_cycles = memsys.params.l1.hit_cycles
+        my_dram = memsys.dram
+        m_interleave = my_dram._interleave
+        m_banks = my_dram._banks
+        m_page = my_dram._page_bytes
+        m_flat = (m_interleave == m_page
+                  and m_interleave & (m_interleave - 1) == 0
+                  and m_banks & (m_banks - 1) == 0)
+        m_il_shift = m_interleave.bit_length() - 1
+        m_bank_mask = m_banks - 1
+        m_bank_shift = m_banks.bit_length() - 1
+        m_open_row = my_dram._open_row
+        m_cycles = my_dram._access_cycles
+        m_off_page = my_dram.params.off_page_cycles
+        m_same_bank = my_dram.params.same_bank_cycles
+        mem_load = memsys.memory.load
+        sl1_h = sl1_m = sdram_n = sdram_rm = sdram_cf = 0
+        # The single-register policy (the compiled-code default) is
+        # further specialized: its setup cost per group is one exact
+        # register-state transition, so the per-element policy call is
+        # replaced by precomputed first/steady costs and one aggregate
+        # update-counter commit at the end of the phase.
+        single = (type(policy) is SingleAnnexPolicy
+                  and len(annex._entries) > 1)
+        if single:
+            entries = annex._entries
+            update_cycles = annex.params.update_cycles
+            skip_unchanged = policy.skip_when_unchanged
+            uncached = ReadMode.UNCACHED
+        ann_updates = 0
+        first_cyc = rest_cyc = 0.0
+        first_upd = rest_upd = 0
 
         clock = ctx.clock
         put_cycles = 0.0           # aggregate for the "put (issue)" stat
@@ -329,31 +391,108 @@ class SplitC:
                     put_to(pe, dst, local_read(src))
                 clock = ctx.clock
                 continue
-            # Per-target bindings.
+            # Per-target bindings: the PeerLink carries the target DRAM
+            # geometry precomputed (scatter groups are tiny at high
+            # processor counts, so per-group set-up is the bill).  When
+            # the geometry is the flat T3D shape (interleave == page
+            # size, both powers of two) the drain peek collapses to
+            # shifts; otherwise fall back to the peek method.
             peer = get_peer(pe)
-            same_bank, access_cycles = peer[4], peer[5]
-            on_retire = peer[9]
-            tdram = peer[10]
-            # When the target DRAM has the flat T3D geometry (interleave
-            # == page size, both powers of two) the drain peek collapses
-            # to shifts; otherwise fall back to the peek method.
-            interleave = tdram._interleave
-            tbanks = tdram._banks
-            geom_flat = (interleave == tdram._page_bytes
-                         and interleave & (interleave - 1) == 0
-                         and tbanks & (tbanks - 1) == 0)
-            il_shift = interleave.bit_length() - 1
-            bank_mask = tbanks - 1
-            bank_shift = tbanks.bit_length() - 1
-            open_row = tdram._open_row
-            peek = peer[3]
+            same_bank = peer.same_bank
+            access_cycles = peer.access_cycles
+            on_retire = peer.on_retire
+            retire_meta = peer.retire_meta
+            tdram = peer.dram
+            geom_flat = peer.geom_flat
+            il_shift = peer.il_shift
+            bank_mask = peer.bank_mask
+            bank_shift = peer.bank_shift
+            open_row = peer.open_row
+            peek = peer.peek_access_with
             elems = 0
             steady_index = steady_cyc = updates_delta = None
+            if single:
+                # Inlined SingleAnnexPolicy.setup + DtbAnnex.set_entry
+                # for the whole group: the register transitions to
+                # (pe, UNCACHED) on the first element (unless the
+                # skip-when-unchanged variant already holds it) and is
+                # provably stationary for the rest.
+                if skip_unchanged and policy._current == (pe, uncached):
+                    first_cyc = 0.0
+                    first_upd = 0
+                else:
+                    entry = entries[1]
+                    if entry.pe != pe or entry.mode is not uncached:
+                        entries[1] = AnnexEntry(pe=pe, mode=uncached)
+                    policy._current = (pe, uncached)
+                    first_cyc = update_cycles
+                    first_upd = 1
+                if skip_unchanged:
+                    rest_cyc = 0.0
+                    rest_upd = 0
+                else:
+                    rest_cyc = update_cycles
+                    rest_upd = 1
             for src, dst in pairs:
-                read_cycles, value = memsys_read(clock, src)
-                clock += read_cycles
+                if src_fast:
+                    # MemorySystem.read, flattened: forwarding probe
+                    # against the write buffer, then direct-mapped L1
+                    # over the local DRAM controller.
+                    found = False
+                    value = None
+                    if pending:
+                        if pending[0].retire_time <= clock:
+                            wb_flush(clock)
+                        w = src - (src % wbytes)
+                        for entry in reversed(pending):
+                            if w in entry.words:
+                                found = True
+                                value = entry.words[w]
+                                break
+                    s_line = src - (src % lb)
+                    s_index = (src // lb) % l1_sets
+                    if l1_get(s_index) == s_line:
+                        sl1_h += 1
+                        clock += hit_cycles
+                    else:
+                        sl1_m += 1
+                        l1_tags[s_index] = s_line
+                        a = src & mask
+                        if m_flat:
+                            block = a >> m_il_shift
+                            bank = block & m_bank_mask
+                            row = block >> m_bank_shift
+                        else:
+                            block = a // m_interleave
+                            bank = block % m_banks
+                            row = ((block // m_banks) * m_interleave
+                                   + a % m_interleave) // m_page
+                        cyc = m_cycles
+                        sdram_n += 1
+                        if m_open_row[bank] != row:
+                            sdram_rm += 1
+                            cyc += m_off_page
+                            if bank == my_dram._last_bank:
+                                sdram_cf += 1
+                                cyc += m_same_bank
+                            m_open_row[bank] = row
+                        my_dram._last_bank = bank
+                        clock += cyc
+                    if not found:
+                        value = mem_load(src & mask)
+                else:
+                    read_cycles, value = memsys_read(clock, src)
+                    clock += read_cycles
                 issued_at = clock
-                if elems >= 2:
+                if single:
+                    index = 1
+                    if elems:
+                        clock += rest_cyc
+                        ann_updates += rest_upd
+                    else:
+                        clock += first_cyc
+                        ann_updates += first_upd
+                elif elems >= 2:
                     index = steady_index
                     clock += steady_cyc
                     annex.updates += updates_delta
@@ -413,7 +552,8 @@ class SplitC:
                     wb._last_retire = retire
                     pending.append(
                         PendingWrite(line, start, retire,
-                                     {word: value}, False, on_retire))
+                                     {word: value}, False, on_retire,
+                                     retire_meta))
                     if len(pending) == 1 and settle_queue is not None:
                         settle_queue.append(wb)
                     store_cycles += stall
@@ -422,6 +562,14 @@ class SplitC:
                 elems += 1
             remote.stores += elems
             total += elems
+        if src_fast:
+            my_l1.hits += sl1_h
+            my_l1.misses += sl1_m
+            my_dram.accesses += sdram_n
+            my_dram.row_misses += sdram_rm
+            my_dram.same_bank_conflicts += sdram_cf
+        if ann_updates:
+            annex.updates += ann_updates
         ctx.clock = clock
         if total:
             rec = self.stats.ops.get("put (issue)")

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.apps.spmd_workloads import (
+    MESSAGE_WORKLOADS,
     WORKLOADS,
     check_results,
     expected_landings,
     make_program,
     random_scripts,
+    run_message_workload,
     run_workload,
 )
 from repro.machine.machine import Machine
@@ -40,6 +42,19 @@ def test_random_scripts_are_reproducible():
 def test_wrong_machine_size_is_rejected():
     with pytest.raises(ValueError, match="wants 4 processors"):
         run_workload(fresh_machine((2, 1, 1)), "ring-shift")
+
+
+@pytest.mark.parametrize("name", sorted(MESSAGE_WORKLOADS))
+def test_message_workload_completes_and_delivers(name):
+    run_message_workload(fresh_machine(), name)
+
+
+def test_message_catalog_is_documented():
+    assert len(MESSAGE_WORKLOADS) >= 2
+    for workload in MESSAGE_WORKLOADS.values():
+        assert workload.doc
+    with pytest.raises(ValueError, match="wants 4 processors"):
+        run_message_workload(fresh_machine((2, 1, 1)), "msg-token-ring")
 
 
 def test_expected_landings_tracks_last_phase():

@@ -66,7 +66,7 @@ def _machine_fingerprint(machine):
                     ms.write_buffer.drained_entries,
                     node.remote.reads, node.remote.stores,
                     node.annex.updates,
-                    sorted(ms.memory._words.items())))
+                    sorted(ms.memory.items())))
     return out
 
 
@@ -110,6 +110,21 @@ def test_workload_three_way_identical(name):
     def scenario():
         machine = _machine()
         results = spmd_workloads.run_workload(machine, name)
+        return results, _machine_fingerprint(machine)
+
+    _assert_identical(_three_way(scenario))
+
+
+# ----------------------------------------------------------------------
+# Message-driven workloads: the cohort message wake groups must time
+# exactly like reference every-round polling
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(spmd_workloads.MESSAGE_WORKLOADS))
+def test_message_workload_three_way_identical(name):
+    def scenario():
+        machine = _machine()
+        results = spmd_workloads.run_message_workload(machine, name)
         return results, _machine_fingerprint(machine)
 
     _assert_identical(_three_way(scenario))

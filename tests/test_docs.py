@@ -183,15 +183,24 @@ def test_cohort_knob_documented_and_registered():
 
 
 def test_weak_scaling_snapshot_matches_doc_claims():
-    """The committed BENCH_PR9 weak-scaling curve honors the flatness
-    bound docs/performance.md documents."""
+    """The committed BENCH_PR10 weak-scaling curve honors the flatness
+    bound docs/performance.md documents, the 1024-PE point holds the
+    segment-tier speed target, and the capacity point carries its
+    footprint gauge."""
     import json
-    snapshot = json.loads((ROOT / "BENCH_PR9.json").read_text())
+    snapshot = json.loads((ROOT / "BENCH_PR10.json").read_text())
     curve = snapshot["weak_scaling"]["us_per_edge"]
     assert {"16", "64", "256", "1024"} <= set(curve)
     assert curve["1024"] < 1.3 * curve["16"]
     walls = snapshot["weak_scaling"]["wall_seconds"]
-    assert walls["1024"] <= 60.0
+    assert walls["1024"] <= 14.0
+
+    point = snapshot["million_point"]
+    assert point["nodes_per_pe"] >= 1 << 20
+    footprint = point["footprint"]
+    assert footprint["words_allocated"] > 10**7
+    assert footprint["segment_bytes"] > 0
+    assert footprint["peak_rss_kb"] > 0
 
 
 # --------------------------------------------- model-catalog consistency

@@ -145,7 +145,7 @@ def _machine_fingerprint(machine, sc):
                     ms.write_buffer.merged_writes,
                     ms.write_buffer.drained_entries,
                     node.remote.reads, node.remote.stores,
-                    sorted(ms.memory._words.items())))
+                    sorted(ms.memory.items())))
     return out
 
 

@@ -21,9 +21,12 @@ the perf gate behind ``make bench-compare``.
   *behavioral* drift check alongside the wall-clock one.
 * When both snapshots carry a ``weak_scaling`` section (``make
   bench-scaling``), the per-PE-count us/edge points are diffed with the
-  same threshold: the metric is simulated time, so it is deterministic
-  and gets no noise floor — any point more than the threshold above the
-  baseline fails the gate.
+  same threshold.  The metric is simulated time — deterministic — but
+  the committed baselines round to a few decimals and tiny curves sit
+  at fractions of a microsecond, so a relative gate alone flaps on
+  sub-noise deltas; ``--scaling-floor`` (default 0.005 us/edge) is the
+  absolute delta a point must also exceed before it counts as a
+  regression.
 * ``--tiers`` additionally cross-checks the compute tiers: a small
   probe subset is run on the vectorized tier and on the fast/reference
   tiers (``REPRO_VECTOR=0``), and any numeric mismatch counts as a
@@ -31,8 +34,8 @@ the perf gate behind ``make bench-compare``.
   meaningful while the tiers agree bit for bit.
 
 Usage: bench_compare.py BASE_JSON NEW_JSON
-           [--threshold PCT] [--min-seconds S] [--warn-only]
-           [--models ARTIFACT] [--tiers]
+           [--threshold PCT] [--min-seconds S] [--scaling-floor US]
+           [--warn-only] [--models ARTIFACT] [--tiers]
 """
 
 from __future__ import annotations
@@ -67,13 +70,14 @@ def compare(base: dict, new: dict, threshold: float,
     return lines, regressions
 
 
-def compare_scaling(base: dict, new: dict,
-                    threshold: float) -> tuple[list[str], list[str]]:
+def compare_scaling(base: dict, new: dict, threshold: float,
+                    floor: float = 0.005) -> tuple[list[str], list[str]]:
     """Diff the weak-scaling curves (us/edge per PE count).
 
-    Simulated per-edge cost is deterministic, so there is no noise
-    floor: a point rising past the threshold is a real perf regression
-    in the model's hot loops, not container jitter.  Points present in
+    Simulated per-edge cost is deterministic, but snapshot rounding
+    and tiny absolute values make a purely relative gate flappy, so a
+    point regresses only when it exceeds the threshold *and* rises by
+    more than ``floor`` us/edge in absolute terms.  Points present in
     only one snapshot (e.g. the 1024-PE point of a full sweep) are
     reported but never fail."""
     b_curve = (base.get("weak_scaling") or {}).get("us_per_edge") or {}
@@ -92,7 +96,7 @@ def compare_scaling(base: dict, new: dict,
             continue
         delta = (n - b) / b if b > 0 else 0.0
         tag = "ok"
-        if delta > threshold:
+        if delta > threshold and (n - b) > floor:
             tag = "REGRESSED"
             regressions.append(f"{label}: {b:.4f} -> {n:.4f} us/edge "
                                f"(+{100 * delta:.1f}%)")
@@ -167,6 +171,11 @@ def main(argv=None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore benchmarks where both means are "
                              "below this noise floor (default 0.05)")
+    parser.add_argument("--scaling-floor", type=float, default=0.005,
+                        metavar="US",
+                        help="absolute us/edge increase a weak-scaling "
+                             "point must exceed (in addition to the "
+                             "threshold) to regress (default 0.005)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report but always exit 0")
     parser.add_argument("--models", default=None, metavar="ARTIFACT",
@@ -187,7 +196,7 @@ def main(argv=None) -> int:
     lines, regressions = compare(base, new, args.threshold,
                                  args.min_seconds)
     scaling_lines, scaling_regressions = compare_scaling(
-        base, new, args.threshold)
+        base, new, args.threshold, args.scaling_floor)
     lines.extend(scaling_lines)
     regressions.extend(scaling_regressions)
     if args.models:
@@ -205,7 +214,8 @@ def main(argv=None) -> int:
         regressions.extend(tier_regressions)
     print(f"bench compare: {args.base} -> {args.new} "
           f"(threshold +{100 * args.threshold:.0f}%, "
-          f"noise floor {args.min_seconds:.2f} s)")
+          f"noise floor {args.min_seconds:.2f} s, "
+          f"scaling floor {args.scaling_floor:.3f} us/edge)")
     for line in lines:
         print(line)
     if regressions:

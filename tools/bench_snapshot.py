@@ -19,7 +19,15 @@ per-PE-count us/edge and wall-clock seconds) is embedded as the
 snapshot's ``weak_scaling`` section, which ``bench_compare.py`` diffs
 point by point against the committed baseline.
 
-Usage: bench_snapshot.py RAW_JSON OUT_JSON [--meta FILE] [--scaling FILE]
+With ``--million FILE`` the capacity-point sidecar that
+``benchmarks/test_em3d_million.py`` drops (``.million_point.json``:
+nodes per PE, us/edge, wall-clock, and the words-allocated /
+segment-bytes / peak-RSS footprint gauge) becomes the snapshot's
+``million_point`` section — the record that the segment-backed memory
+tier held the point in bounded space.
+
+Usage: bench_snapshot.py RAW_JSON OUT_JSON
+           [--meta FILE] [--scaling FILE] [--million FILE]
 """
 
 from __future__ import annotations
@@ -59,7 +67,8 @@ VECTOR_HOT_BASELINES = {
 
 
 def condense(raw: dict, meta: dict | None = None,
-             scaling: dict | None = None) -> dict:
+             scaling: dict | None = None,
+             million: dict | None = None) -> dict:
     means = {b["name"]: round(b["stats"]["mean"], 4)
              for b in raw["benchmarks"]}
     speedups = {
@@ -116,6 +125,8 @@ def condense(raw: dict, meta: dict | None = None,
             section["flatness_ratio"] = (round(largest / smallest, 3)
                                          if smallest > 0 else None)
         snapshot["weak_scaling"] = section
+    if million is not None:
+        snapshot["million_point"] = million
     if meta is not None:
         snapshot["run_meta"] = meta
     return snapshot
@@ -144,12 +155,13 @@ def main(argv: list[str]) -> int:
     args = list(argv[1:])
     meta = _pop_json_option(args, "--meta")
     scaling = _pop_json_option(args, "--scaling")
+    million = _pop_json_option(args, "--million")
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     with open(args[0]) as handle:
         raw = json.load(handle)
-    snapshot = condense(raw, meta=meta, scaling=scaling)
+    snapshot = condense(raw, meta=meta, scaling=scaling, million=million)
     with open(args[1], "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -175,6 +187,16 @@ def main(argv: list[str]) -> int:
             sorted(curve["us_per_edge"].items(), key=lambda kv: int(kv[0])))
         print(f"weak scaling (us/edge): {points} "
               f"(flatness {curve.get('flatness_ratio')}x)")
+    point = snapshot.get("million_point")
+    if point:
+        foot = point.get("footprint", {})
+        print(f"capacity point: {point.get('nodes_per_pe'):,} nodes/PE "
+              f"x {point.get('num_pes')} PEs, "
+              f"{point.get('us_per_edge'):.4f} us/edge, "
+              f"{point.get('wall_seconds'):.1f} s wall, "
+              f"{foot.get('words_allocated', 0):,} words "
+              f"({foot.get('segment_bytes', 0) / 2**20:.0f} MB segments, "
+              f"peak RSS {foot.get('peak_rss_kb', 0) / 1024:.0f} MB)")
     if meta:
         cache = meta.get("cache", {})
         print(f"run: jobs={meta.get('jobs')} "
